@@ -1,0 +1,13 @@
+#include "bench_common.hpp"
+
+#include "util/parallel.hpp"
+
+namespace cycloid::bench {
+
+int threads() {
+  return static_cast<int>(env_u64(
+      "CYCLOID_BENCH_THREADS",
+      static_cast<std::uint64_t>(cycloid::util::default_thread_count())));
+}
+
+}  // namespace cycloid::bench

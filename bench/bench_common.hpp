@@ -1,0 +1,45 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Each binary regenerates one table or figure from the paper's evaluation
+// (Sec. 4) and prints it as a fixed-width table. Absolute hop counts depend
+// only on topology, so they are directly comparable to the paper; sample
+// sizes are capped (CYCLOID_BENCH_LOOKUP_CAP) because the means converge
+// long before the paper's full n^2/4 lookup workload.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace cycloid::bench {
+
+/// Paper workload: every node issues n/4 lookups (n^2/4 total). Returns the
+/// scale in (0, 1] that caps the total at `cap` lookups.
+inline double lookup_scale_for(std::uint64_t n, std::uint64_t cap) {
+  const double full = static_cast<double>(n) * static_cast<double>(n) / 4.0;
+  return full <= static_cast<double>(cap)
+             ? 1.0
+             : static_cast<double>(cap) / full;
+}
+
+/// Env-var override (integer) with default; lets CI shrink or grow runs.
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Default lookup cap per experiment cell.
+inline std::uint64_t lookup_cap() {
+  return env_u64("CYCLOID_BENCH_LOOKUP_CAP", 100000);
+}
+
+/// Worker threads for cell-parallel experiments (results are identical at
+/// any thread count; see util::parallel_for). Override with
+/// CYCLOID_BENCH_THREADS.
+int threads();
+
+/// Fixed seed: every bench prints identical tables run to run.
+inline constexpr std::uint64_t kBenchSeed = 0xC1C101DULL;
+
+}  // namespace cycloid::bench

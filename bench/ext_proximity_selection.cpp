@@ -1,0 +1,61 @@
+// Extension — proximity-aware neighbour selection in Cycloid.
+//
+// The cubical-neighbour pattern (k-1, prefix ā_k x..x) leaves the low bits
+// free, so "there are many such neighbors … This provides the abundance in
+// choosing cubical neighbors" (paper Sec. 2.1). The paper's Cycloid picks
+// deterministically; this extension picks the lowest-latency candidate
+// (Pastry's proximity neighbour selection) and measures the effect on hop
+// count (unchanged — the pattern guarantees prefix progress regardless of
+// which candidate is chosen) and on end-to-end route latency.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/network.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cycloid;
+  using ccc::CycloidNetwork;
+  using ccc::NeighborSelection;
+
+  const auto lookups = bench::env_u64("CYCLOID_BENCH_PNS_LOOKUPS", 20000);
+
+  util::print_banner(std::cout,
+                     "Extension: proximity-aware cubical-neighbour selection "
+                     "(complete networks, latency = torus distance)");
+  util::Table table({"n", "policy", "mean hops", "mean route latency",
+                     "latency/hop"});
+
+  for (const int d : {6, 7, 8}) {
+    for (const NeighborSelection selection :
+         {NeighborSelection::kClosestSuffix, NeighborSelection::kProximity}) {
+      auto net = CycloidNetwork::build_complete(d, 1, selection);
+      util::Rng rng(bench::kBenchSeed + static_cast<std::uint64_t>(d));
+      stats::Summary hops;
+      stats::Summary latency;
+      for (std::uint64_t i = 0; i < lookups; ++i) {
+        const dht::NodeHandle from = net->random_node(rng);
+        const ccc::CccId key = net->key_id(rng());
+        std::vector<CycloidNetwork::RouteStep> trace;
+        const dht::LookupResult result = net->lookup_id(from, key, &trace);
+        hops.add(result.hops);
+        latency.add(net->route_latency(from, trace));
+      }
+      table.row()
+          .add(net->node_count())
+          .add(selection == NeighborSelection::kProximity ? "proximity"
+                                                          : "suffix")
+          .add(hops.mean(), 2)
+          .add(latency.mean(), 3)
+          .add(latency.mean() / hops.mean(), 3);
+    }
+  }
+  std::cout << table;
+  std::cout << "\n(expected shape: hop counts match to within noise — any\n"
+               " pattern candidate extends the prefix equally — while the\n"
+               " proximity policy shortens the cubical hops, cutting total\n"
+               " route latency; random hops on a unit torus average ~0.38)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 6 — mean lookup path length as a function of the network *dimension*.
+// Cycloid packs d * 2^d nodes into dimension d while the ring DHTs pack
+// 2^bits, so at equal dimension Cycloid serves (d-1) * 2^d more nodes; the
+// figure shows its path length growing far more slowly per dimension.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "chord/chord.hpp"
+#include "core/network.hpp"
+#include "exp/workloads.hpp"
+#include "koorde/koorde.hpp"
+#include "util/table.hpp"
+#include "viceroy/viceroy.hpp"
+
+int main() {
+  using namespace cycloid;
+
+  util::print_banner(
+      std::cout, "Fig. 6: path length as a function of network dimension");
+  util::Table table({"dimension", "Cycloid-7 (n=d*2^d)", "Viceroy (n=2^d)",
+                     "Chord (n=2^d)", "Koorde (n=2^d)"});
+
+  const std::uint64_t cap = bench::lookup_cap();
+  for (const int d : {3, 4, 5, 6, 7, 8}) {
+    table.row().add(d);
+    {
+      auto net = ccc::CycloidNetwork::build_complete(d);
+      util::Rng rng(bench::kBenchSeed + static_cast<std::uint64_t>(d));
+      const std::uint64_t n = net->node_count();
+      const auto lookups = static_cast<std::uint64_t>(
+          static_cast<double>(n * n) / 4.0 * bench::lookup_scale_for(n, cap));
+      const auto stats = exp::run_random_lookups(*net, lookups, rng);
+      table.add(stats.mean_path(), 2);
+    }
+    const std::uint64_t n = 1ULL << d;
+    const auto lookups = static_cast<std::uint64_t>(
+        static_cast<double>(n * n) / 4.0 * bench::lookup_scale_for(n, cap));
+    {
+      util::Rng rng(bench::kBenchSeed + 100 + static_cast<std::uint64_t>(d));
+      auto net = viceroy::ViceroyNetwork::build_random(n, rng);
+      const auto stats = exp::run_random_lookups(*net, lookups, rng);
+      table.add(stats.mean_path(), 2);
+    }
+    {
+      auto net = chord::ChordNetwork::build_complete(d);
+      util::Rng rng(bench::kBenchSeed + 200 + static_cast<std::uint64_t>(d));
+      const auto stats = exp::run_random_lookups(*net, lookups, rng);
+      table.add(stats.mean_path(), 2);
+    }
+    {
+      auto net = koorde::KoordeNetwork::build_complete(d);
+      util::Rng rng(bench::kBenchSeed + 300 + static_cast<std::uint64_t>(d));
+      const auto stats = exp::run_random_lookups(*net, lookups, rng);
+      table.add(stats.mean_path(), 2);
+    }
+  }
+  std::cout << table;
+  std::cout << "\n(paper shape: at equal dimension Cycloid carries (d+1)x\n"
+               " more nodes than Viceroy/Koorde yet its path grows slowest;\n"
+               " Viceroy's grows fastest with dimension)\n";
+  return 0;
+}

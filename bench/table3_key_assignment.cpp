@@ -1,0 +1,78 @@
+// Table 3 — "Characterization of node identification and key assignment in
+// different DHTs", plus a measured demonstration of each assignment rule.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/network.hpp"
+#include "exp/overlays.hpp"
+#include "hash/keys.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using cycloid::util::Table;
+
+  cycloid::util::print_banner(
+      std::cout, "Table 3: node identification and key assignment");
+  Table table({"", "Cycloid", "Viceroy", "Koorde"});
+  table.row()
+      .add("Base network")
+      .add("CCC")
+      .add("Butterfly")
+      .add("de Bruijn");
+  table.row()
+      .add("ID space")
+      .add("([0,d), [0, d*2^d))")
+      .add("([0, 3 log n), [0,1))")
+      .add("[0, 2^d)")
+      ;
+  table.row()
+      .add("Node identity")
+      .add("(k, a_{d-1}...a_0), k static")
+      .add("(level, id), level dynamic")
+      .add("id");
+  table.row()
+      .add("Key placement")
+      .add("Numerically closest node")
+      .add("Successor")
+      .add("Successor");
+  std::cout << table;
+
+  // Demonstrate the assignment rules on one key in small networks.
+  cycloid::util::print_banner(std::cout,
+                              "Demonstration: where key hashes land");
+  Table demo({"Overlay", "key hash (reduced)", "owner"});
+  const std::uint64_t h = cycloid::hash::hash_name("cycloid-demo-key");
+  {
+    auto net = cycloid::exp::make_sparse_overlay(
+        cycloid::exp::OverlayKind::kCycloid7, 6, 96,
+        cycloid::bench::kBenchSeed);
+    auto* cyc = dynamic_cast<cycloid::ccc::CycloidNetwork*>(net.get());
+    const auto key_id = cyc->key_id(h);
+    demo.row()
+        .add("Cycloid-7")
+        .add(cycloid::ccc::to_string(key_id, 6))
+        .add(cycloid::ccc::to_string(
+            cycloid::ccc::CycloidNetwork::id_of(net->owner_of(h)), 6));
+  }
+  for (const auto kind : {cycloid::exp::OverlayKind::kChord,
+                          cycloid::exp::OverlayKind::kKoorde}) {
+    auto net = cycloid::exp::make_sparse_overlay(kind, 6, 96,
+                                                 cycloid::bench::kBenchSeed);
+    demo.row()
+        .add(cycloid::exp::overlay_label(kind))
+        .add(std::to_string(h % 512))
+        .add(std::to_string(net->owner_of(h)));
+  }
+  {
+    auto net = cycloid::exp::make_sparse_overlay(
+        cycloid::exp::OverlayKind::kViceroy, 6, 96,
+        cycloid::bench::kBenchSeed);
+    demo.row()
+        .add("Viceroy")
+        .add(cycloid::util::format_double(cycloid::hash::reduce_unit(h), 6))
+        .add("serial " + std::to_string(net->owner_of(h)));
+  }
+  std::cout << demo;
+  return 0;
+}

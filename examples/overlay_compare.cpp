@@ -1,0 +1,54 @@
+// Overlay comparison — a condensed version of the paper's evaluation on one
+// screen: build all five systems at the same size and compare lookup cost,
+// state per node, load balance, and failure behaviour.
+#include <iostream>
+
+#include "exp/overlays.hpp"
+#include "exp/workloads.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cycloid;
+
+  const int d = 7;  // 896-node networks
+  const std::uint64_t lookups = 20000;
+
+  util::Table table({"overlay", "nodes", "mean path", "query stddev",
+                     "mean timeouts @30% departed", "failures @30%"});
+
+  for (const exp::OverlayKind kind : exp::all_overlays()) {
+    auto net = exp::make_dense_overlay(kind, d, 1);
+    util::Rng rng(2);
+
+    const stats::Summary loads = exp::query_load_distribution(*net, lookups, rng);
+    const exp::WorkloadStats steady = exp::run_random_lookups(*net, lookups, rng);
+
+    auto failing = exp::make_dense_overlay(kind, d, 1);
+    util::Rng fail_rng(3);
+    failing->fail_simultaneously(0.3, fail_rng);
+    const exp::WorkloadStats failed =
+        exp::run_random_lookups(*failing, lookups, fail_rng);
+
+    table.row()
+        .add(exp::overlay_label(kind))
+        .add(net->node_count())
+        .add(steady.mean_path(), 2)
+        .add(loads.stddev(), 1)
+        .add(failed.mean_timeouts(), 2)
+        .add(failed.failures + failed.incorrect);
+  }
+
+  util::print_banner(std::cout,
+                     "Constant-degree DHT comparison (d = 7, 896 nodes)");
+  std::cout << table;
+  std::cout << "\nReading guide (paper Sec. 5 conclusions):\n"
+               " * Cycloid: shortest constant-degree paths, most balanced\n"
+               "   query load, no failures under massive departures.\n"
+               " * Viceroy: no timeouts (it repairs incoming links eagerly)\n"
+               "   but the longest paths.\n"
+               " * Koorde: short on state, but lookups fail once a de Bruijn\n"
+               "   pointer and its backups are all gone.\n"
+               " * Chord: the O(log n)-state reference point.\n";
+  return 0;
+}

@@ -1,0 +1,471 @@
+#include "can/can.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace cycloid::can {
+
+namespace {
+using dht::kNoNode;
+using dht::LookupResult;
+using dht::NodeHandle;
+
+bool intervals_overlap(const Interval& a, const Interval& b) {
+  return a.lo < b.hi && b.lo < a.hi;
+}
+
+bool intervals_abut_torus(const Interval& a, const Interval& b) {
+  if (a.hi == b.lo || b.hi == a.lo) return true;
+  // Torus wrap: [x, 1) abuts [0, y).
+  if (a.hi == 1.0 && b.lo == 0.0) return true;
+  if (b.hi == 1.0 && a.lo == 0.0) return true;
+  return false;
+}
+
+double torus_axis_distance(double x, const Interval& iv) {
+  if (x >= iv.lo && x < iv.hi) return 0.0;
+  // Distance to the nearer edge, the short way around the circle.
+  const auto circ = [](double a, double b) {
+    const double d = std::fabs(a - b);
+    return d > 0.5 ? 1.0 - d : d;
+  };
+  return std::min(circ(x, iv.lo), circ(x, iv.hi));
+}
+
+}  // namespace
+
+CanNetwork::CanNetwork(int dims) : dims_(dims) {
+  CYCLOID_EXPECTS(dims >= 1 && dims <= kMaxDims);
+}
+
+std::unique_ptr<CanNetwork> CanNetwork::build_random(std::size_t count,
+                                                     util::Rng& rng,
+                                                     int dims) {
+  auto net = std::make_unique<CanNetwork>(dims);
+  CYCLOID_EXPECTS(count >= 1);
+  while (net->node_count() < count) {
+    Point p{};
+    for (int d = 0; d < dims; ++d) p[static_cast<std::size_t>(d)] = rng.uniform01();
+    net->join_at(p);
+  }
+  return net;
+}
+
+Point CanNetwork::point_from_hash(dht::KeyHash key) const {
+  // Slice the 64-bit hash into dims_ coordinates of 64/dims_ bits each.
+  Point p{};
+  const int slice = 64 / dims_;
+  for (int d = 0; d < dims_; ++d) {
+    const std::uint64_t chunk =
+        (key >> (d * slice)) & ((slice == 64 ? ~0ULL : (1ULL << slice) - 1));
+    p[static_cast<std::size_t>(d)] =
+        static_cast<double>(chunk) / std::ldexp(1.0, slice);
+  }
+  return p;
+}
+
+CanNode* CanNetwork::find(NodeHandle handle) {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const CanNode* CanNetwork::find(NodeHandle handle) const {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const CanNode& CanNetwork::node_state(NodeHandle handle) const {
+  const CanNode* node = find(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  return *node;
+}
+
+double CanNetwork::volume_of(NodeHandle handle) const {
+  const CanNode& node = node_state(handle);
+  double volume = 0.0;
+  for (const Zone& zone : node.zones) {
+    double v = 1.0;
+    for (int d = 0; d < dims_; ++d) {
+      const Interval& iv = zone.span[static_cast<std::size_t>(d)];
+      v *= iv.hi - iv.lo;
+    }
+    volume += v;
+  }
+  return volume;
+}
+
+bool CanNetwork::zone_contains(const Zone& zone, const Point& p) const {
+  for (int d = 0; d < dims_; ++d) {
+    const Interval& iv = zone.span[static_cast<std::size_t>(d)];
+    const double x = p[static_cast<std::size_t>(d)];
+    if (x < iv.lo || x >= iv.hi) return false;
+  }
+  return true;
+}
+
+double CanNetwork::zone_distance2(const Zone& zone, const Point& p) const {
+  double total = 0.0;
+  for (int d = 0; d < dims_; ++d) {
+    const double axis = torus_axis_distance(p[static_cast<std::size_t>(d)],
+                                            zone.span[static_cast<std::size_t>(d)]);
+    total += axis * axis;
+  }
+  return total;
+}
+
+double CanNetwork::node_distance2(const CanNode& node, const Point& p) const {
+  double best = 4.0;
+  for (const Zone& zone : node.zones) {
+    best = std::min(best, zone_distance2(zone, p));
+  }
+  return best;
+}
+
+bool CanNetwork::zones_adjacent(const Zone& a, const Zone& b) const {
+  int overlapping = 0;
+  int abutting = 0;
+  for (int d = 0; d < dims_; ++d) {
+    const Interval& x = a.span[static_cast<std::size_t>(d)];
+    const Interval& y = b.span[static_cast<std::size_t>(d)];
+    if (intervals_overlap(x, y)) {
+      ++overlapping;
+    } else if (intervals_abut_torus(x, y)) {
+      ++abutting;
+    } else {
+      return false;  // separated in this dimension: not contiguous
+    }
+  }
+  return overlapping == dims_ - 1 && abutting == 1;
+}
+
+bool CanNetwork::nodes_adjacent(const CanNode& a, const CanNode& b) const {
+  for (const Zone& za : a.zones) {
+    for (const Zone& zb : b.zones) {
+      if (zones_adjacent(za, zb)) return true;
+    }
+  }
+  return false;
+}
+
+NodeHandle CanNetwork::node_at(const Point& p) const {
+  for (const auto& [handle, node] : nodes_) {
+    for (const Zone& zone : node->zones) {
+      if (zone_contains(zone, p)) return handle;
+    }
+  }
+  CYCLOID_ASSERT(nodes_.empty());  // zones tile the torus
+  return kNoNode;
+}
+
+void CanNetwork::relink(NodeHandle handle,
+                        const std::set<NodeHandle>& candidates) {
+  CanNode* node = find(handle);
+  CYCLOID_ASSERT(node != nullptr);
+  // Every candidate is probed for adjacency: one exchange per candidate.
+  maintenance_updates_ += candidates.size();
+  // Drop this node from its previous neighbours' sets, then re-evaluate
+  // adjacency against the candidate set.
+  for (const NodeHandle old : node->neighbors) {
+    if (CanNode* other = find(old)) other->neighbors.erase(handle);
+  }
+  node->neighbors.clear();
+  for (const NodeHandle cand : candidates) {
+    if (cand == handle) continue;
+    CanNode* other = find(cand);
+    if (other == nullptr) continue;
+    if (nodes_adjacent(*node, *other)) {
+      node->neighbors.insert(cand);
+      other->neighbors.insert(handle);
+    }
+  }
+}
+
+void CanNetwork::coalesce(CanNode& node) const {
+  bool merged = true;
+  while (merged && node.zones.size() > 1) {
+    merged = false;
+    for (std::size_t i = 0; i < node.zones.size() && !merged; ++i) {
+      for (std::size_t j = i + 1; j < node.zones.size() && !merged; ++j) {
+        // Perfect buddies: identical in all dimensions except one in which
+        // they abut exactly (no torus wrap — the union must stay a box).
+        int differing = -1;
+        bool buddies = true;
+        for (int d = 0; d < dims_ && buddies; ++d) {
+          const Interval& x = node.zones[i].span[static_cast<std::size_t>(d)];
+          const Interval& y = node.zones[j].span[static_cast<std::size_t>(d)];
+          if (x == y) continue;
+          if (differing != -1) {
+            buddies = false;
+          } else if (x.hi == y.lo || y.hi == x.lo) {
+            differing = d;
+          } else {
+            buddies = false;
+          }
+        }
+        if (!buddies || differing == -1) continue;
+        Interval& x = node.zones[i].span[static_cast<std::size_t>(differing)];
+        const Interval& y =
+            node.zones[j].span[static_cast<std::size_t>(differing)];
+        x = Interval{std::min(x.lo, y.lo), std::max(x.hi, y.hi)};
+        node.zones.erase(node.zones.begin() + static_cast<std::ptrdiff_t>(j));
+        merged = true;
+      }
+    }
+  }
+}
+
+NodeHandle CanNetwork::join_at(const Point& point) {
+  const NodeHandle handle = next_serial_++;
+  auto fresh = std::make_unique<CanNode>();
+  CanNode* raw = fresh.get();
+
+  if (nodes_.empty()) {
+    Zone all{};
+    for (int d = 0; d < dims_; ++d) {
+      all.span[static_cast<std::size_t>(d)] = Interval{0.0, 1.0};
+    }
+    raw->zones.push_back(all);
+    nodes_.emplace(handle, std::move(fresh));
+    handle_pos_.emplace(handle, handle_vec_.size());
+    handle_vec_.push_back(handle);
+    return handle;
+  }
+
+  // Split the zone containing the point along its longest side; the half
+  // containing the point goes to the newcomer.
+  const NodeHandle owner_handle = node_at(point);
+  CanNode* owner = find(owner_handle);
+  CYCLOID_ASSERT(owner != nullptr);
+  std::size_t zone_index = 0;
+  for (std::size_t z = 0; z < owner->zones.size(); ++z) {
+    if (zone_contains(owner->zones[z], point)) {
+      zone_index = z;
+      break;
+    }
+  }
+  Zone& zone = owner->zones[zone_index];
+  int split_dim = 0;
+  double longest = -1.0;
+  for (int d = 0; d < dims_; ++d) {
+    const Interval& iv = zone.span[static_cast<std::size_t>(d)];
+    if (iv.hi - iv.lo > longest) {
+      longest = iv.hi - iv.lo;
+      split_dim = d;
+    }
+  }
+  Interval& iv = zone.span[static_cast<std::size_t>(split_dim)];
+  const double mid = iv.lo + (iv.hi - iv.lo) / 2.0;
+  Zone new_zone = zone;
+  if (point[static_cast<std::size_t>(split_dim)] < mid) {
+    new_zone.span[static_cast<std::size_t>(split_dim)] = Interval{iv.lo, mid};
+    iv.lo = mid;
+  } else {
+    new_zone.span[static_cast<std::size_t>(split_dim)] = Interval{mid, iv.hi};
+    iv.hi = mid;
+  }
+  raw->zones.push_back(new_zone);
+
+  nodes_.emplace(handle, std::move(fresh));
+  handle_pos_.emplace(handle, handle_vec_.size());
+  handle_vec_.push_back(handle);
+
+  // Adjacency can only change among the owner's old neighbourhood.
+  std::set<NodeHandle> candidates = owner->neighbors;
+  candidates.insert(owner_handle);
+  candidates.insert(handle);
+  relink(handle, candidates);
+  relink(owner_handle, candidates);
+  return handle;
+}
+
+void CanNetwork::unlink(NodeHandle handle) {
+  CanNode* node = find(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  for (const NodeHandle n : node->neighbors) {
+    if (CanNode* other = find(n)) other->neighbors.erase(handle);
+  }
+  const std::size_t pos = handle_pos_.at(handle);
+  const NodeHandle moved = handle_vec_.back();
+  handle_vec_[pos] = moved;
+  handle_pos_[moved] = pos;
+  handle_vec_.pop_back();
+  handle_pos_.erase(handle);
+  nodes_.erase(handle);
+}
+
+std::vector<NodeHandle> CanNetwork::node_handles() const {
+  std::vector<NodeHandle> handles;
+  handles.reserve(nodes_.size());
+  for (const auto& [handle, node] : nodes_) handles.push_back(handle);
+  std::sort(handles.begin(), handles.end());
+  return handles;
+}
+
+bool CanNetwork::contains(NodeHandle node) const {
+  return nodes_.contains(node);
+}
+
+NodeHandle CanNetwork::random_node(util::Rng& rng) const {
+  CYCLOID_EXPECTS(!handle_vec_.empty());
+  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
+}
+
+std::vector<std::string> CanNetwork::phase_names() const { return {"greedy"}; }
+
+NodeHandle CanNetwork::owner_of(dht::KeyHash key) const {
+  return node_at(point_from_hash(key));
+}
+
+LookupResult CanNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+  LookupResult result;
+  CanNode* cur = find(from);
+  NodeHandle cur_handle = from;
+  CYCLOID_EXPECTS(cur != nullptr);
+  const Point target = point_from_hash(key);
+
+  // Zones tile the torus, so the zone across the face toward the target is
+  // a neighbour and is strictly nearer — greedy routing converges. The
+  // visited set only matters in the measure-zero case where the geodesic
+  // exits exactly through a corner (the diagonal zone is not a neighbour);
+  // an equal-distance sidestep then restores progress.
+  std::vector<NodeHandle> visited = {from};
+
+  while (true) {
+    bool owns = false;
+    for (const Zone& zone : cur->zones) owns |= zone_contains(zone, target);
+    if (owns) break;
+
+    NodeHandle best_handle = kNoNode;
+    CanNode* best = nullptr;
+    const double cur_dist = node_distance2(*cur, target);
+    double best_dist = cur_dist;
+    NodeHandle side_handle = kNoNode;
+    CanNode* side = nullptr;
+    for (const NodeHandle n : cur->neighbors) {
+      CanNode* cand = find(n);
+      CYCLOID_ASSERT(cand != nullptr);  // adjacency is maintained eagerly
+      const double dist = node_distance2(*cand, target);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = cand;
+        best_handle = n;
+      } else if (dist == cur_dist && side == nullptr &&
+                 std::find(visited.begin(), visited.end(), n) ==
+                     visited.end()) {
+        side = cand;
+        side_handle = n;
+      }
+    }
+    if (best == nullptr && side != nullptr) {
+      best = side;
+      best_handle = side_handle;
+    }
+    if (best == nullptr) {
+      result.success = false;  // stuck (should not happen; tests verify)
+      break;
+    }
+    result.count_hop(kGreedy);
+    ++best->queries_received;
+    cur = best;
+    cur_handle = best_handle;
+    visited.push_back(best_handle);
+  }
+
+  result.destination = cur_handle;
+  return result;
+}
+
+NodeHandle CanNetwork::join(std::uint64_t seed) {
+  return join_at(point_from_hash(util::mix64(seed)));
+}
+
+void CanNetwork::leave(NodeHandle node) {
+  CanNode* leaver = find(node);
+  CYCLOID_EXPECTS(leaver != nullptr);
+  if (nodes_.size() == 1) {
+    unlink(node);
+    return;
+  }
+
+  // Hand every zone to the smallest-volume neighbour (the CAN takeover
+  // rule), then let it merge perfect buddies back together.
+  NodeHandle heir = kNoNode;
+  double heir_volume = 2.0;
+  for (const NodeHandle n : leaver->neighbors) {
+    const double volume = volume_of(n);
+    if (volume < heir_volume) {
+      heir_volume = volume;
+      heir = n;
+    }
+  }
+  CYCLOID_ASSERT(heir != kNoNode);  // zones tile: every node has neighbours
+  CanNode* recipient = find(heir);
+
+  std::set<NodeHandle> candidates = leaver->neighbors;
+  for (const NodeHandle n : recipient->neighbors) candidates.insert(n);
+  candidates.insert(heir);
+
+  for (const Zone& zone : leaver->zones) recipient->zones.push_back(zone);
+  coalesce(*recipient);
+  unlink(node);
+  candidates.erase(node);
+  relink(heir, candidates);
+}
+
+void CanNetwork::fail_simultaneously(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  // Graceful mass departure: sequential takeovers (CAN repairs zone
+  // ownership as part of departure, so no state goes stale).
+  std::vector<NodeHandle> victims;
+  for (const NodeHandle h : node_handles()) {
+    if (rng.chance(p)) victims.push_back(h);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
+  for (const NodeHandle h : victims) leave(h);
+}
+
+void CanNetwork::stabilize_one(NodeHandle node) {
+  // Zone handovers keep all state fresh; nothing to repair. Use the pass to
+  // re-attempt coalescing of fragmented zones.
+  if (CanNode* state = find(node)) coalesce(*state);
+}
+
+void CanNetwork::stabilize_all() {
+  for (const auto& [handle, node] : nodes_) coalesce(*node);
+}
+
+void CanNetwork::reset_query_load() {
+  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
+}
+
+std::vector<std::uint64_t> CanNetwork::query_loads() const {
+  std::vector<std::uint64_t> loads;
+  for (const NodeHandle h : node_handles()) {
+    loads.push_back(find(h)->queries_received);
+  }
+  return loads;
+}
+
+bool CanNetwork::check_invariants() const {
+  // 1. Zone volumes sum to 1 (the zones tile the torus).
+  double total = 0.0;
+  for (const auto& [handle, node] : nodes_) total += volume_of(handle);
+  if (nodes_.empty()) return true;
+  if (std::fabs(total - 1.0) > 1e-9) return false;
+
+  // 2. Adjacency sets are symmetric and match geometry.
+  for (const auto& [ha, a] : nodes_) {
+    for (const auto& [hb, b] : nodes_) {
+      if (ha == hb) continue;
+      const bool geometric = nodes_adjacent(*a, *b);
+      const bool listed = a->neighbors.contains(hb);
+      const bool listed_back = b->neighbors.contains(ha);
+      if (geometric != listed || listed != listed_back) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cycloid::can

@@ -1,0 +1,137 @@
+// CAN (Ratnasamy et al. 2001) — the mesh-class DHT of paper Sec. 2.3 and
+// Table 1: "CAN chooses its keys from a d-dimensional toroidal space. Each
+// node is associated with a region of this key space, and its neighbors are
+// the nodes that own the contiguous regions."
+//
+// Nodes own axis-aligned dyadic boxes ("zones") of the unit torus. A join
+// splits the zone containing the newcomer's point in half along its longest
+// side; a graceful leave hands the departing node's zones to its
+// smallest-volume neighbour (which coalesces perfect buddies back into
+// larger boxes — a node can temporarily hold several zones, as in the CAN
+// paper's takeover rule). Routing greedily forwards to the neighbour whose
+// zone is nearest the target point; path lengths are O(dims * n^(1/dims)).
+//
+// CAN keeps only neighbour state and repairs it as zones change hands, so —
+// like Viceroy — its lookups never hit departed nodes (zero timeouts).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/network.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::can {
+
+inline constexpr int kMaxDims = 4;
+
+/// Half-open interval [lo, hi) of the unit torus (never wraps; zones are
+/// dyadic sub-boxes of [0,1)^dims).
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+struct Zone {
+  std::array<Interval, kMaxDims> span;  // entries [0, dims) are meaningful
+  friend bool operator==(const Zone&, const Zone&) = default;
+};
+
+/// Point of the unit torus.
+using Point = std::array<double, kMaxDims>;
+
+struct CanNode {
+  std::vector<Zone> zones;               // usually one; more after takeovers
+  std::set<dht::NodeHandle> neighbors;   // zone-contiguous nodes
+  std::uint64_t queries_received = 0;
+};
+
+class CanNetwork final : public dht::DhtNetwork {
+ public:
+  explicit CanNetwork(int dims = 2);
+
+  /// Bootstrap a network by `count` protocol-level joins at random points.
+  static std::unique_ptr<CanNetwork> build_random(std::size_t count,
+                                                  util::Rng& rng,
+                                                  int dims = 2);
+
+  int dims() const noexcept { return dims_; }
+
+  /// Map a key hash to a point of the torus (one hash slice per dimension).
+  Point point_from_hash(dht::KeyHash key) const;
+
+  /// Protocol join at an explicit point; returns the new node's handle
+  /// (the first join owns the whole space).
+  dht::NodeHandle join_at(const Point& point);
+
+  const CanNode& node_state(dht::NodeHandle handle) const;
+
+  /// Zone volume owned by a node (1.0 totals across the network).
+  double volume_of(dht::NodeHandle handle) const;
+
+  /// Structural invariants (zones tile the torus, adjacency is symmetric
+  /// and correct) — cheap enough for tests to call after every operation.
+  bool check_invariants() const;
+
+  enum Phase : std::size_t { kGreedy = 0 };
+
+  // DhtNetwork interface -----------------------------------------------
+  std::string name() const override { return "CAN"; }
+  std::size_t node_count() const override { return nodes_.size(); }
+  std::vector<dht::NodeHandle> node_handles() const override;
+  bool contains(dht::NodeHandle node) const override;
+  dht::NodeHandle random_node(util::Rng& rng) const override;
+  std::vector<std::string> phase_names() const override;
+  dht::NodeHandle owner_of(dht::KeyHash key) const override;
+  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key) override;
+  dht::NodeHandle join(std::uint64_t seed) override;
+  void leave(dht::NodeHandle node) override;
+  void fail_simultaneously(double p, util::Rng& rng) override;
+  void stabilize_one(dht::NodeHandle node) override;
+  void stabilize_all() override;
+  void reset_query_load() override;
+  std::vector<std::uint64_t> query_loads() const override;
+  std::uint64_t maintenance_updates() const override {
+    return maintenance_updates_;
+  }
+  void reset_maintenance() override { maintenance_updates_ = 0; }
+
+ private:
+  CanNode* find(dht::NodeHandle handle);
+  const CanNode* find(dht::NodeHandle handle) const;
+
+  bool zone_contains(const Zone& zone, const Point& p) const;
+  /// Squared torus distance from the closest point of `zone` to `p`.
+  double zone_distance2(const Zone& zone, const Point& p) const;
+  double node_distance2(const CanNode& node, const Point& p) const;
+  bool zones_adjacent(const Zone& a, const Zone& b) const;
+  bool nodes_adjacent(const CanNode& a, const CanNode& b) const;
+
+  /// Node whose zone contains `p` (every point is covered).
+  dht::NodeHandle node_at(const Point& p) const;
+
+  /// Recompute adjacency between `node` and a candidate set (the union of
+  /// the previous neighbourhoods of every party to a zone transfer).
+  void relink(dht::NodeHandle node,
+              const std::set<dht::NodeHandle>& candidates);
+
+  /// Merge perfect-buddy zone pairs owned by one node until fixpoint.
+  void coalesce(CanNode& node) const;
+
+  void unlink(dht::NodeHandle handle);
+
+  int dims_;
+  std::uint64_t next_serial_ = 0;
+  std::unordered_map<dht::NodeHandle, std::unique_ptr<CanNode>> nodes_;
+  std::vector<dht::NodeHandle> handle_vec_;
+  std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
+  mutable std::uint64_t maintenance_updates_ = 0;
+};
+
+}  // namespace cycloid::can

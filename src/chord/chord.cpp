@@ -1,0 +1,350 @@
+#include "chord/chord.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace cycloid::chord {
+
+namespace {
+using dht::kNoNode;
+using dht::LookupResult;
+using dht::NodeHandle;
+using util::clockwise_distance;
+using util::in_half_open_cw;
+}  // namespace
+
+ChordNetwork::ChordNetwork(int bits, int successor_list_length)
+    : bits_(bits),
+      space_size_(1ULL << bits),
+      successor_list_length_(successor_list_length) {
+  CYCLOID_EXPECTS(bits >= 1 && bits <= 32);
+  CYCLOID_EXPECTS(successor_list_length >= 1);
+}
+
+std::unique_ptr<ChordNetwork> ChordNetwork::build_random(
+    int bits, std::size_t count, util::Rng& rng, int successor_list_length) {
+  auto net = std::make_unique<ChordNetwork>(bits, successor_list_length);
+  CYCLOID_EXPECTS(count >= 1 && count <= net->space_size_);
+  while (net->node_count() < count) net->insert(rng.below(net->space_size_));
+  net->stabilize_all();
+  return net;
+}
+
+std::unique_ptr<ChordNetwork> ChordNetwork::build_complete(int bits) {
+  auto net = std::make_unique<ChordNetwork>(bits);
+  for (std::uint64_t id = 0; id < net->space_size_; ++id) net->insert(id);
+  net->stabilize_all();
+  return net;
+}
+
+bool ChordNetwork::insert(std::uint64_t id) {
+  CYCLOID_EXPECTS(id < space_size_);
+  if (nodes_.contains(id)) return false;
+
+  auto node = std::make_unique<ChordNode>();
+  node->id = id;
+  ChordNode* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  ring_.emplace(id, id);
+  handle_pos_.emplace(id, handle_vec_.size());
+  handle_vec_.push_back(id);
+
+  compute_state(*raw);
+  refresh_ring_around(id);
+  return true;
+}
+
+void ChordNetwork::unlink(NodeHandle handle) {
+  CYCLOID_EXPECTS(nodes_.contains(handle));
+  ring_.erase(handle);
+  const std::size_t pos = handle_pos_.at(handle);
+  const NodeHandle moved = handle_vec_.back();
+  handle_vec_[pos] = moved;
+  handle_pos_[moved] = pos;
+  handle_vec_.pop_back();
+  handle_pos_.erase(handle);
+  nodes_.erase(handle);
+}
+
+ChordNode* ChordNetwork::find(NodeHandle handle) {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const ChordNode* ChordNetwork::find(NodeHandle handle) const {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const ChordNode& ChordNetwork::node_state(NodeHandle handle) const {
+  const ChordNode* node = find(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  return *node;
+}
+
+std::vector<NodeHandle> ChordNetwork::node_handles() const {
+  std::vector<NodeHandle> handles;
+  handles.reserve(ring_.size());
+  for (const auto& [id, handle] : ring_) handles.push_back(handle);
+  return handles;
+}
+
+bool ChordNetwork::contains(NodeHandle node) const {
+  return nodes_.contains(node);
+}
+
+NodeHandle ChordNetwork::random_node(util::Rng& rng) const {
+  CYCLOID_EXPECTS(!handle_vec_.empty());
+  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
+}
+
+std::vector<std::string> ChordNetwork::phase_names() const {
+  return {"finger", "successor"};
+}
+
+NodeHandle ChordNetwork::successor_of(std::uint64_t id) const {
+  CYCLOID_EXPECTS(!ring_.empty());
+  const auto it = ring_.lower_bound(id);
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+NodeHandle ChordNetwork::predecessor_of(std::uint64_t id) const {
+  CYCLOID_EXPECTS(!ring_.empty());
+  const auto it = ring_.lower_bound(id);
+  return it == ring_.begin() ? ring_.rbegin()->second : std::prev(it)->second;
+}
+
+void ChordNetwork::compute_state(ChordNode& node) const {
+  const ChordNode before = node;
+  node.predecessor = predecessor_of(node.id);
+
+  node.successors.clear();
+  std::uint64_t cursor = node.id;
+  for (int i = 0; i < successor_list_length_; ++i) {
+    const NodeHandle succ = successor_of((cursor + 1) % space_size_);
+    node.successors.push_back(succ);
+    cursor = succ;
+  }
+
+  node.fingers.assign(static_cast<std::size_t>(bits_), kNoNode);
+  for (int i = 0; i < bits_; ++i) {
+    node.fingers[static_cast<std::size_t>(i)] =
+        successor_of((node.id + (1ULL << i)) % space_size_);
+  }
+
+  if (node.predecessor != before.predecessor ||
+      node.successors != before.successors ||
+      node.fingers != before.fingers) {
+    ++maintenance_updates_;
+  }
+}
+
+void ChordNetwork::refresh_ring_around(std::uint64_t id) {
+  // A membership change at `id` affects the successor lists of up to
+  // successor_list_length_ preceding nodes, the predecessor pointer of the
+  // succeeding node, and the changed node itself.
+  std::uint64_t cursor = id;
+  for (int i = 0; i <= successor_list_length_; ++i) {
+    if (ring_.empty()) return;
+    const NodeHandle handle = predecessor_of(cursor);
+    ChordNode* node = find(handle);
+    CYCLOID_ASSERT(node != nullptr);
+    // Repair the successor structure only; fingers remain as they were.
+    const NodeHandle old_pred = node->predecessor;
+    const auto old_successors = node->successors;
+    node->predecessor = predecessor_of(node->id);
+    node->successors.clear();
+    std::uint64_t walk = node->id;
+    for (int s = 0; s < successor_list_length_; ++s) {
+      const NodeHandle succ = successor_of((walk + 1) % space_size_);
+      node->successors.push_back(succ);
+      walk = succ;
+    }
+    if (node->predecessor != old_pred || node->successors != old_successors) {
+      ++maintenance_updates_;
+    }
+    cursor = node->id;
+  }
+  if (!ring_.empty()) {
+    // The node following `id` (strictly — after a join, `id` itself is
+    // present and must not shadow its successor) gets a fresh predecessor.
+    const NodeHandle next = successor_of((id + 1) % space_size_);
+    ChordNode* node = find(next);
+    CYCLOID_ASSERT(node != nullptr);
+    const NodeHandle old_pred = node->predecessor;
+    node->predecessor = predecessor_of(node->id);
+    if (node->predecessor != old_pred) ++maintenance_updates_;
+  }
+}
+
+NodeHandle ChordNetwork::owner_of(dht::KeyHash key) const {
+  return successor_of(key % space_size_);
+}
+
+LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+  LookupResult result;
+  ChordNode* cur = find(from);
+  CYCLOID_EXPECTS(cur != nullptr);
+  const std::uint64_t target = key % space_size_;
+
+  // Distinct-departed-node timeout accounting (one timeout per departed
+  // node encountered, paper Sec. 4.3).
+  std::vector<NodeHandle> dead_seen;
+  const auto try_alive = [&](NodeHandle h) -> ChordNode* {
+    if (h == kNoNode) return nullptr;
+    ChordNode* node = find(h);
+    if (node == nullptr) {
+      if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
+          dead_seen.end()) {
+        dead_seen.push_back(h);
+        ++result.timeouts;
+      }
+      return nullptr;
+    }
+    return node;
+  };
+
+  const auto hop = [&](ChordNode* next, Phase phase) {
+    result.count_hop(phase);
+    ++next->queries_received;
+    cur = next;
+  };
+
+  while (true) {
+    // Owner check: key in (predecessor, cur].
+    if (cur->predecessor == cur->id ||  // singleton ring
+        in_half_open_cw(target, cur->predecessor, cur->id, space_size_)) {
+      break;
+    }
+
+    // First live entry of the successor list (always the first entry after
+    // graceful departures; later ones only after ungraceful ones).
+    ChordNode* succ = nullptr;
+    for (const NodeHandle sh : cur->successors) {
+      succ = try_alive(sh);
+      if (succ != nullptr) break;
+    }
+    if (succ == nullptr) {
+      // Whole successor list dead (ungraceful mass departure): stuck.
+      result.success = false;
+      break;
+    }
+
+    // Final step: key in (cur, successor] -> the successor stores it.
+    if (in_half_open_cw(target, cur->id, succ->id, space_size_)) {
+      hop(succ, kSuccessor);
+      break;
+    }
+
+    // Greedy: highest finger in (cur, target); stale (departed) fingers
+    // cost a timeout and are skipped.
+    ChordNode* next = nullptr;
+    for (int i = bits_ - 1; i >= 0; --i) {
+      const NodeHandle fh = cur->fingers[static_cast<std::size_t>(i)];
+      if (fh == kNoNode || fh == cur->id) continue;
+      if (!in_half_open_cw(fh, cur->id, (target + space_size_ - 1) % space_size_,
+                           space_size_)) {
+        continue;  // finger not in (cur, target)
+      }
+      ChordNode* cand = try_alive(fh);
+      if (cand == nullptr) continue;
+      next = cand;
+      break;
+    }
+    if (next != nullptr) {
+      hop(next, kFinger);
+      continue;
+    }
+
+    // All useful fingers dead or void: advance along the successor list.
+    ChordNode* best = nullptr;
+    for (const NodeHandle sh : cur->successors) {
+      ChordNode* cand = try_alive(sh);
+      if (cand == nullptr || cand->id == cur->id) continue;
+      if (!in_half_open_cw(cand->id, cur->id,
+                           (target + space_size_ - 1) % space_size_,
+                           space_size_)) {
+        continue;
+      }
+      best = cand;  // successors are ordered; keep the farthest valid one
+    }
+    if (best == nullptr) best = succ;
+    hop(best, kSuccessor);
+  }
+
+  result.destination = cur->id;
+  return result;
+}
+
+NodeHandle ChordNetwork::join(std::uint64_t seed) {
+  const std::uint64_t id = util::mix64(seed) % space_size_;
+  if (!insert(id)) return kNoNode;
+  return id;
+}
+
+void ChordNetwork::leave(NodeHandle node) {
+  CYCLOID_EXPECTS(contains(node));
+  const std::uint64_t id = find(node)->id;
+  unlink(node);
+  if (!ring_.empty()) refresh_ring_around(id);
+}
+
+void ChordNetwork::fail_simultaneously(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<NodeHandle> victims;
+  for (const auto& [id, handle] : ring_) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
+  for (const NodeHandle handle : victims) unlink(handle);
+  // Graceful departures repair the ring; fingers stay frozen.
+  for (const auto& [handle, node] : nodes_) {
+    ++maintenance_updates_;  // mass graceful departure: everyone re-checks
+    node->predecessor = predecessor_of(node->id);
+    node->successors.clear();
+    std::uint64_t walk = node->id;
+    for (int s = 0; s < successor_list_length_; ++s) {
+      const NodeHandle succ = successor_of((walk + 1) % space_size_);
+      node->successors.push_back(succ);
+      walk = succ;
+    }
+  }
+}
+
+void ChordNetwork::fail_ungraceful(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  // Nodes vanish without notifying anyone: successor lists and predecessor
+  // pointers stay stale alongside the fingers.
+  std::vector<NodeHandle> victims;
+  for (const auto& [id, handle] : ring_) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
+  for (const NodeHandle handle : victims) unlink(handle);
+}
+
+void ChordNetwork::stabilize_one(NodeHandle node) {
+  ChordNode* state = find(node);
+  if (state == nullptr) return;
+  compute_state(*state);
+}
+
+void ChordNetwork::stabilize_all() {
+  for (const auto& [handle, node] : nodes_) compute_state(*node);
+}
+
+void ChordNetwork::reset_query_load() {
+  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
+}
+
+std::vector<std::uint64_t> ChordNetwork::query_loads() const {
+  std::vector<std::uint64_t> loads;
+  loads.reserve(nodes_.size());
+  for (const auto& [id, handle] : ring_) {
+    loads.push_back(find(handle)->queries_received);
+  }
+  return loads;
+}
+
+}  // namespace cycloid::chord

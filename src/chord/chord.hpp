@@ -1,0 +1,109 @@
+// Chord (Stoica et al. 2003) — the O(log n)-degree reference DHT.
+//
+// The Cycloid paper includes Chord in every experiment as the
+// non-constant-degree baseline. This implementation follows the paper's
+// simulation setup: an m-bit circular identifier space, finger tables with
+// m entries (finger[i] = successor(id + 2^i)), a successor list for ring
+// robustness, and greedy closest-preceding-finger routing. Keys are stored
+// at their successor. Graceful leaves repair the successor structure
+// immediately; fingers go stale until stabilization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/network.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::chord {
+
+struct ChordNode {
+  std::uint64_t id = 0;
+  dht::NodeHandle predecessor = dht::kNoNode;
+  /// successors[0] is the immediate successor; kept alive by eager repair.
+  std::vector<dht::NodeHandle> successors;
+  /// fingers[i] targets successor(id + 2^i); may be stale between
+  /// stabilizations.
+  std::vector<dht::NodeHandle> fingers;
+  std::uint64_t queries_received = 0;
+};
+
+class ChordNetwork final : public dht::DhtNetwork {
+ public:
+  /// An empty network over a 2^bits identifier space.
+  explicit ChordNetwork(int bits, int successor_list_length = 3);
+
+  /// A network of `count` nodes at distinct uniform-random identifiers.
+  static std::unique_ptr<ChordNetwork> build_random(int bits,
+                                                    std::size_t count,
+                                                    util::Rng& rng,
+                                                    int successor_list_length = 3);
+
+  /// The complete network: every identifier populated (used for the paper's
+  /// dense path-length experiments).
+  static std::unique_ptr<ChordNetwork> build_complete(int bits);
+
+  int bits() const noexcept { return bits_; }
+  std::uint64_t space_size() const noexcept { return space_size_; }
+
+  /// Direct insertion at a specific identifier (false if occupied).
+  bool insert(std::uint64_t id);
+
+  const ChordNode& node_state(dht::NodeHandle handle) const;
+
+  /// Routing-phase slots in LookupResult::phase_hops.
+  enum Phase : std::size_t { kFinger = 0, kSuccessor = 1 };
+
+  // DhtNetwork interface -----------------------------------------------
+  std::string name() const override { return "Chord"; }
+  std::size_t node_count() const override { return nodes_.size(); }
+  std::vector<dht::NodeHandle> node_handles() const override;
+  bool contains(dht::NodeHandle node) const override;
+  dht::NodeHandle random_node(util::Rng& rng) const override;
+  std::vector<std::string> phase_names() const override;
+  dht::NodeHandle owner_of(dht::KeyHash key) const override;
+  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key) override;
+  dht::NodeHandle join(std::uint64_t seed) override;
+  void leave(dht::NodeHandle node) override;
+  void fail_simultaneously(double p, util::Rng& rng) override;
+  void fail_ungraceful(double p, util::Rng& rng) override;
+  void stabilize_one(dht::NodeHandle node) override;
+  void stabilize_all() override;
+  void reset_query_load() override;
+  std::vector<std::uint64_t> query_loads() const override;
+  std::uint64_t maintenance_updates() const override {
+    return maintenance_updates_;
+  }
+  void reset_maintenance() override { maintenance_updates_ = 0; }
+
+ private:
+  ChordNode* find(dht::NodeHandle handle);
+  const ChordNode* find(dht::NodeHandle handle) const;
+
+  /// First live identifier at or clockwise-after `id` (ground truth).
+  dht::NodeHandle successor_of(std::uint64_t id) const;
+  /// Last live identifier strictly clockwise-before `id`.
+  dht::NodeHandle predecessor_of(std::uint64_t id) const;
+
+  void compute_state(ChordNode& node) const;
+  /// Repair successor lists / predecessors in the ring neighbourhood of a
+  /// join or leave at identifier `id`.
+  void refresh_ring_around(std::uint64_t id);
+  void unlink(dht::NodeHandle handle);
+
+  int bits_;
+  std::uint64_t space_size_;
+  int successor_list_length_;
+
+  std::unordered_map<dht::NodeHandle, std::unique_ptr<ChordNode>> nodes_;
+  std::map<std::uint64_t, dht::NodeHandle> ring_;  // id -> handle (id == handle)
+  std::vector<dht::NodeHandle> handle_vec_;
+  std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
+  mutable std::uint64_t maintenance_updates_ = 0;
+};
+
+}  // namespace cycloid::chord

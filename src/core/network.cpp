@@ -1,0 +1,662 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/bits.hpp"
+
+namespace cycloid::ccc {
+
+namespace {
+
+using dht::kNoNode;
+using dht::LookupResult;
+using dht::NodeHandle;
+
+}  // namespace
+
+CycloidNetwork::CycloidNetwork(int dimension, int leaf_width,
+                               NeighborSelection selection)
+    : space_(dimension), leaf_width_(leaf_width), selection_(selection) {
+  CYCLOID_EXPECTS(leaf_width >= 1 && leaf_width <= 8);
+  by_level_.resize(static_cast<std::size_t>(dimension));
+}
+
+std::unique_ptr<CycloidNetwork> CycloidNetwork::build_complete(
+    int dimension, int leaf_width, NeighborSelection selection) {
+  auto net = std::make_unique<CycloidNetwork>(dimension, leaf_width, selection);
+  const CccSpace& space = net->space_;
+  for (std::uint64_t pos = 0; pos < space.size(); ++pos) {
+    const bool inserted = net->insert(space.from_ring_position(pos));
+    CYCLOID_ASSERT(inserted);
+  }
+  net->stabilize_all();
+  return net;
+}
+
+std::unique_ptr<CycloidNetwork> CycloidNetwork::build_random(
+    int dimension, std::size_t count, util::Rng& rng, int leaf_width,
+    NeighborSelection selection) {
+  auto net = std::make_unique<CycloidNetwork>(dimension, leaf_width, selection);
+  const CccSpace& space = net->space_;
+  CYCLOID_EXPECTS(count >= 1 && count <= space.size());
+  while (net->node_count() < count) {
+    const std::uint64_t pos = rng.below(space.size());
+    net->insert(space.from_ring_position(pos));
+  }
+  net->stabilize_all();
+  return net;
+}
+
+// --------------------------------------------------------------------------
+// Membership indexes
+
+bool CycloidNetwork::insert(const CccId& id) {
+  CYCLOID_EXPECTS(space_.valid(id));
+  const NodeHandle handle = handle_of(id);
+  if (nodes_.contains(handle)) return false;
+
+  auto node = std::make_unique<CycloidNode>();
+  node->id = id;
+  // Deterministic proximity coordinates (only the extension uses them).
+  std::uint64_t coord_seed = util::mix64(handle ^ 0xc0cac01aULL);
+  node->x = static_cast<double>(util::splitmix64(coord_seed) >> 11) * 0x1.0p-53;
+  node->y = static_cast<double>(util::splitmix64(coord_seed) >> 11) * 0x1.0p-53;
+  CycloidNode* raw = node.get();
+  nodes_.emplace(handle, std::move(node));
+  ring_.emplace(space_.ring_position(id), handle);
+  by_level_[id.cyclic].emplace(id.cubical, handle);
+  cycles_[id.cubical].emplace(id.cyclic, handle);
+  handle_pos_.emplace(handle, handle_vec_.size());
+  handle_vec_.push_back(handle);
+
+  compute_routing_table(*raw);
+  refresh_leafsets_around(id.cubical);
+  return true;
+}
+
+void CycloidNetwork::unlink(NodeHandle handle) {
+  const auto it = nodes_.find(handle);
+  CYCLOID_EXPECTS(it != nodes_.end());
+  const CccId id = it->second->id;
+
+  ring_.erase(space_.ring_position(id));
+  by_level_[id.cyclic].erase(id.cubical);
+  auto cycle_it = cycles_.find(id.cubical);
+  CYCLOID_ASSERT(cycle_it != cycles_.end());
+  cycle_it->second.erase(id.cyclic);
+  if (cycle_it->second.empty()) cycles_.erase(cycle_it);
+
+  const std::size_t pos = handle_pos_.at(handle);
+  const NodeHandle moved = handle_vec_.back();
+  handle_vec_[pos] = moved;
+  handle_pos_[moved] = pos;
+  handle_vec_.pop_back();
+  handle_pos_.erase(handle);
+
+  nodes_.erase(it);
+}
+
+CycloidNode* CycloidNetwork::find(NodeHandle handle) {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const CycloidNode* CycloidNetwork::find(NodeHandle handle) const {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const CycloidNode& CycloidNetwork::node_state(NodeHandle handle) const {
+  const CycloidNode* node = find(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  return *node;
+}
+
+std::string CycloidNetwork::name() const {
+  return "Cycloid-" + std::to_string(3 + 4 * leaf_width_);
+}
+
+std::vector<NodeHandle> CycloidNetwork::node_handles() const {
+  std::vector<NodeHandle> handles;
+  handles.reserve(ring_.size());
+  for (const auto& [pos, handle] : ring_) handles.push_back(handle);
+  return handles;
+}
+
+bool CycloidNetwork::contains(NodeHandle node) const {
+  return nodes_.contains(node);
+}
+
+NodeHandle CycloidNetwork::random_node(util::Rng& rng) const {
+  CYCLOID_EXPECTS(!handle_vec_.empty());
+  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
+}
+
+std::vector<std::string> CycloidNetwork::phase_names() const {
+  return {"ascend", "descend", "traverse"};
+}
+
+// --------------------------------------------------------------------------
+// Cycle geometry
+
+NodeHandle CycloidNetwork::primary_of_cycle(std::uint64_t cubical) const {
+  const auto it = cycles_.find(cubical);
+  CYCLOID_EXPECTS(it != cycles_.end() && !it->second.empty());
+  return it->second.rbegin()->second;
+}
+
+std::uint64_t CycloidNetwork::preceding_cycle(std::uint64_t cubical) const {
+  CYCLOID_EXPECTS(!cycles_.empty());
+  auto it = cycles_.lower_bound(cubical);
+  if (it == cycles_.begin()) return cycles_.rbegin()->first;
+  return std::prev(it)->first;
+}
+
+std::uint64_t CycloidNetwork::succeeding_cycle(std::uint64_t cubical) const {
+  CYCLOID_EXPECTS(!cycles_.empty());
+  const auto it = cycles_.upper_bound(cubical);
+  if (it == cycles_.end()) return cycles_.begin()->first;
+  return it->first;
+}
+
+// --------------------------------------------------------------------------
+// Routing table & leaf sets
+
+void CycloidNetwork::compute_routing_table(CycloidNode& node) const {
+  const NodeHandle old_cubical = node.cubical_neighbor;
+  const NodeHandle old_larger = node.cyclic_larger;
+  const NodeHandle old_smaller = node.cyclic_smaller;
+  node.cubical_neighbor = kNoNode;
+  node.cyclic_larger = kNoNode;
+  node.cyclic_smaller = kNoNode;
+
+  const std::uint32_t k = node.id.cyclic;
+  if (k == 0) return;  // paper: cyclic index 0 has no cubical/cyclic neighbors
+  const auto& level = by_level_[k - 1];
+  if (level.empty()) return;
+
+  // Cubical neighbor: cyclic index k-1, cubical matching the node's bits
+  // above position k with bit k flipped; bits below k are free (Table 2).
+  // Among the matching window we pick the participant whose suffix is
+  // closest to the node's own (the Pastry-style "closest matching" choice).
+  const std::uint64_t preferred = util::flip_bit(node.id.cubical, static_cast<int>(k));
+  const std::uint64_t window = 1ULL << k;
+  const std::uint64_t base = preferred & ~(window - 1);
+  if (selection_ == NeighborSelection::kProximity) {
+    // Proximity extension: scan every candidate matching the pattern and
+    // keep the one with the lowest link latency (Pastry-style PNS).
+    NodeHandle best = kNoNode;
+    double best_latency = 1e300;
+    for (auto it = level.lower_bound(base);
+         it != level.end() && it->first < base + window; ++it) {
+      const double latency = link_latency(handle_of(node.id), it->second);
+      if (latency < best_latency) {
+        best_latency = latency;
+        best = it->second;
+      }
+    }
+    node.cubical_neighbor = best;
+  } else {
+    const auto at_or_after = level.lower_bound(preferred);
+    NodeHandle best = kNoNode;
+    std::uint64_t best_gap = ~0ULL;
+    if (at_or_after != level.end() && at_or_after->first < base + window) {
+      best = at_or_after->second;
+      best_gap = at_or_after->first - preferred;
+    }
+    if (at_or_after != level.begin()) {
+      const auto before = std::prev(at_or_after);
+      if (before->first >= base && preferred - before->first < best_gap) {
+        best = before->second;
+      }
+    }
+    node.cubical_neighbor = best;
+  }
+
+  // Cyclic neighbors: the first participants at cyclic index k-1 whose
+  // cubical index is >= (larger) / <= (smaller) the node's own. The paper's
+  // min/max formulas do not wrap, so nodes near the ends of the cubical
+  // range may lack one of them.
+  {
+    const auto at_or_after = level.lower_bound(node.id.cubical);
+    if (at_or_after != level.end()) node.cyclic_larger = at_or_after->second;
+    auto past = level.upper_bound(node.id.cubical);
+    if (past != level.begin()) node.cyclic_smaller = std::prev(past)->second;
+  }
+
+  if (node.cubical_neighbor != old_cubical || node.cyclic_larger != old_larger ||
+      node.cyclic_smaller != old_smaller) {
+    ++maintenance_updates_;
+  }
+}
+
+void CycloidNetwork::compute_leaf_sets(CycloidNode& node) const {
+  const auto old_inside_pred = std::move(node.inside_pred);
+  const auto old_inside_succ = std::move(node.inside_succ);
+  const auto old_outside_pred = std::move(node.outside_pred);
+  const auto old_outside_succ = std::move(node.outside_succ);
+  node.inside_pred.clear();
+  node.inside_succ.clear();
+  node.outside_pred.clear();
+  node.outside_succ.clear();
+
+  const auto cycle_it = cycles_.find(node.id.cubical);
+  CYCLOID_ASSERT(cycle_it != cycles_.end());
+  const auto& cycle = cycle_it->second;
+  const auto self_it = cycle.find(node.id.cyclic);
+  CYCLOID_ASSERT(self_it != cycle.end());
+
+  // Inside leaf set: predecessors and successors on the local cycle. A
+  // single-member cycle points at itself (paper Sec. 3.3.1 case 2).
+  auto it = self_it;
+  for (int i = 0; i < leaf_width_; ++i) {
+    it = (it == cycle.begin()) ? std::prev(cycle.end()) : std::prev(it);
+    node.inside_pred.push_back(it->second);
+  }
+  it = self_it;
+  for (int i = 0; i < leaf_width_; ++i) {
+    ++it;
+    if (it == cycle.end()) it = cycle.begin();
+    node.inside_succ.push_back(it->second);
+  }
+
+  // Outside leaf set: primary nodes of the nearest preceding/succeeding
+  // populated cycles on the large cycle (wrapping).
+  std::uint64_t cubical = node.id.cubical;
+  for (int i = 0; i < leaf_width_; ++i) {
+    cubical = preceding_cycle(cubical);
+    node.outside_pred.push_back(primary_of_cycle(cubical));
+  }
+  cubical = node.id.cubical;
+  for (int i = 0; i < leaf_width_; ++i) {
+    cubical = succeeding_cycle(cubical);
+    node.outside_succ.push_back(primary_of_cycle(cubical));
+  }
+
+  // Maintenance accounting: only a state change costs a message exchange.
+  if (node.inside_pred != old_inside_pred ||
+      node.inside_succ != old_inside_succ ||
+      node.outside_pred != old_outside_pred ||
+      node.outside_succ != old_outside_succ) {
+    ++maintenance_updates_;
+  }
+}
+
+void CycloidNetwork::refresh_leafsets_around(std::uint64_t cubical) {
+  if (cycles_.empty()) return;
+
+  // Collect the affected cycles: the one at `cubical` (if populated) plus
+  // leaf_width populated cycles on each side.
+  std::vector<std::uint64_t> affected;
+  if (cycles_.contains(cubical)) affected.push_back(cubical);
+  std::uint64_t walk = cubical;
+  for (int i = 0; i < leaf_width_; ++i) {
+    walk = preceding_cycle(walk);
+    affected.push_back(walk);
+  }
+  walk = cubical;
+  for (int i = 0; i < leaf_width_; ++i) {
+    walk = succeeding_cycle(walk);
+    affected.push_back(walk);
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  for (const std::uint64_t c : affected) {
+    const auto cycle_it = cycles_.find(c);
+    if (cycle_it == cycles_.end()) continue;
+    for (const auto& [cyclic, handle] : cycle_it->second) {
+      compute_leaf_sets(*find(handle));
+    }
+  }
+}
+
+std::vector<NodeHandle> CycloidNetwork::leaf_candidates(
+    const CycloidNode& node) const {
+  std::vector<NodeHandle> out;
+  out.reserve(4 * static_cast<std::size_t>(leaf_width_));
+  const NodeHandle self = handle_of(node.id);
+  const auto push = [&](const std::vector<NodeHandle>& entries) {
+    for (const NodeHandle h : entries) {
+      if (h == self || h == kNoNode) continue;
+      if (std::find(out.begin(), out.end(), h) == out.end()) out.push_back(h);
+    }
+  };
+  push(node.inside_pred);
+  push(node.inside_succ);
+  push(node.outside_pred);
+  push(node.outside_succ);
+  return out;
+}
+
+bool CycloidNetwork::key_in_leaf_range(const CycloidNode& node,
+                                       const CccId& key) const {
+  if (key.cubical == node.id.cubical) return true;
+  if (node.outside_pred.empty() || node.outside_succ.empty()) return true;
+  const std::uint64_t lo = id_of(node.outside_pred.back()).cubical;
+  const std::uint64_t hi = id_of(node.outside_succ.back()).cubical;
+  if (lo == node.id.cubical || hi == node.id.cubical) return true;  // tiny net
+  const std::uint64_t span =
+      util::clockwise_distance(lo, hi, space_.cube_size());
+  return util::clockwise_distance(lo, key.cubical, space_.cube_size()) <= span;
+}
+
+// --------------------------------------------------------------------------
+// Key assignment
+
+dht::NodeHandle CycloidNetwork::owner_of_id(const CccId& key) const {
+  CYCLOID_EXPECTS(!cycles_.empty());
+
+  // The owner lives in one of the two populated cycles nearest to the key's
+  // cubical index (clockwise and counterclockwise); enumerate their members.
+  std::uint64_t cw = key.cubical;
+  if (!cycles_.contains(cw)) cw = succeeding_cycle(key.cubical);
+  const std::uint64_t ccw =
+      cycles_.contains(key.cubical) ? key.cubical : preceding_cycle(key.cubical);
+
+  NodeHandle best = kNoNode;
+  std::uint64_t best_rank = ~0ULL;
+  const auto consider_cycle = [&](std::uint64_t cubical) {
+    const auto it = cycles_.find(cubical);
+    CYCLOID_ASSERT(it != cycles_.end());
+    for (const auto& [cyclic, handle] : it->second) {
+      const std::uint64_t rank =
+          space_.closeness_rank(key, CccId{cyclic, cubical});
+      if (rank < best_rank) {
+        best_rank = rank;
+        best = handle;
+      }
+    }
+  };
+  consider_cycle(cw);
+  if (ccw != cw) consider_cycle(ccw);
+  return best;
+}
+
+dht::NodeHandle CycloidNetwork::owner_of(dht::KeyHash key) const {
+  return owner_of_id(key_id(key));
+}
+
+// --------------------------------------------------------------------------
+// Lookup routing (paper Sec. 3.2, Fig. 3)
+
+LookupResult CycloidNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+  return lookup_id(from, key_id(key));
+}
+
+LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
+                                       std::vector<RouteStep>* trace) {
+  LookupResult result;
+  int timeouts_at_last_hop = 0;
+  CycloidNode* cur = find(from);
+  CYCLOID_EXPECTS(cur != nullptr);
+
+  const int d = space_.dimension();
+  // The three phases are each O(d); give the phase algorithm a generous
+  // budget and fall back to pure greedy leaf-set descent beyond it.
+  const int phase_budget = 8 * d + 16;
+  bool guard_mode = false;
+  int steps = 0;
+
+  // Nodes the lookup has passed through. Ascending/descending moves may
+  // legitimately increase the numeric distance to the key, so they skip
+  // already-visited nodes to rule out ping-pong in sparse networks; the
+  // traverse moves strictly decrease it and need no such check.
+  std::vector<NodeHandle> visited;
+  visited.push_back(from);
+  const auto was_visited = [&](NodeHandle h) {
+    return std::find(visited.begin(), visited.end(), h) != visited.end();
+  };
+
+  // Contact attempt against a possibly-departed entry; the first attempt
+  // against each distinct departed node costs a timeout (paper Sec. 4.3:
+  // "the number of timeouts experienced by a lookup is equal to the number
+  // of departed nodes encountered") and the entry is skipped.
+  std::vector<NodeHandle> dead_seen;
+  const auto try_alive = [&](NodeHandle h) -> CycloidNode* {
+    if (h == kNoNode) return nullptr;
+    CycloidNode* node = find(h);
+    if (node == nullptr) {
+      if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
+          dead_seen.end()) {
+        dead_seen.push_back(h);
+        ++result.timeouts;
+      }
+      return nullptr;
+    }
+    return node;
+  };
+
+  while (true) {
+    if (steps++ > phase_budget && !guard_mode) {
+      guard_mode = true;
+      ++guard_fallbacks_;
+    }
+
+    const std::uint64_t cur_rank = space_.closeness_rank(key, cur->id);
+
+    // Best strictly-improving leaf-set member (the traverse-cycle move and
+    // the universal fallback). Graceful departures keep leaf sets alive;
+    // after UNGRACEFUL departures a leaf entry may be dead, which costs a
+    // timeout on first contact.
+    CycloidNode* best_leaf = nullptr;
+    std::uint64_t best_leaf_rank = cur_rank;
+    for (const NodeHandle h : leaf_candidates(*cur)) {
+      CycloidNode* cand = try_alive(h);
+      if (cand == nullptr) continue;
+      const std::uint64_t rank = space_.closeness_rank(key, cand->id);
+      if (rank < best_leaf_rank) {
+        best_leaf_rank = rank;
+        best_leaf = cand;
+      }
+    }
+
+    const auto hop = [&](CycloidNode* next, Phase phase, const char* link) {
+      result.count_hop(phase);
+      ++next->queries_received;
+      cur = next;
+      visited.push_back(handle_of(next->id));
+      if (trace != nullptr) {
+        trace->push_back(RouteStep{handle_of(next->id), phase, link,
+                                   result.timeouts - timeouts_at_last_hop});
+      }
+      timeouts_at_last_hop = result.timeouts;
+    };
+
+    // Traverse-cycle phase: the target is within the leaf sets' span (or we
+    // are in guard mode) — forward to the numerically closest leaf until the
+    // closest node is the current node itself.
+    if (guard_mode || key_in_leaf_range(*cur, key)) {
+      if (best_leaf == nullptr) break;  // cur is the owner by local view
+      hop(best_leaf, kTraverse, "leaf-set");
+      continue;
+    }
+
+    const int target_msdb = space_.msdb(cur->id.cubical, key.cubical);
+    CYCLOID_ASSERT(target_msdb >= 0);  // equal cubical handled above
+    const auto k = static_cast<int>(cur->id.cyclic);
+
+    if (k < target_msdb) {
+      // Ascending: forward to the outside-leaf-set node with the higher
+      // cyclic index whose cubical index is numerically closest to the key.
+      CycloidNode* best = nullptr;
+      std::uint64_t best_dist = ~0ULL;
+      const auto consider = [&](const std::vector<NodeHandle>& entries) {
+        for (const NodeHandle h : entries) {
+          if (h == kNoNode || was_visited(h)) continue;
+          CycloidNode* cand = try_alive(h);
+          if (cand == nullptr) continue;
+          if (static_cast<int>(cand->id.cyclic) <= k) continue;
+          const std::uint64_t dist =
+              space_.cubical_distance(cand->id.cubical, key.cubical);
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = cand;
+          }
+        }
+      };
+      consider(cur->outside_pred);
+      consider(cur->outside_succ);
+      if (best != nullptr) {
+        hop(best, kAscend, "outside-leaf");
+        continue;
+      }
+      // No higher-level outside neighbor (degenerate sparse cycles): fall
+      // through to the leaf-set fallback below.
+    } else if (k == target_msdb) {
+      // Descending, cube edge: the cubical neighbor flips bit k, extending
+      // the shared prefix with the key by at least one bit.
+      CycloidNode* cube = was_visited(cur->cubical_neighbor)
+                              ? nullptr
+                              : try_alive(cur->cubical_neighbor);
+      if (cube != nullptr &&
+          space_.msdb(cube->id.cubical, key.cubical) < target_msdb) {
+        hop(cube, kDescend, "cubical");
+        continue;
+      }
+      // Dead or missing cube edge: leaf-set fallback below.
+    } else {
+      // Descending, cycle edge: among the cyclic neighbors and the inside
+      // leaf set, pick the node with cyclic index in [MSDB, k) that keeps
+      // the shared prefix and is cubically closest to the key.
+      CycloidNode* best = nullptr;
+      std::uint64_t best_dist = ~0ULL;
+      const auto consider = [&](NodeHandle h) {
+        if (h != kNoNode && was_visited(h)) return;
+        CycloidNode* cand = try_alive(h);
+        if (cand == nullptr) return;
+        const auto ck = static_cast<int>(cand->id.cyclic);
+        if (ck < target_msdb || ck >= k) return;
+        if (space_.msdb(cand->id.cubical, key.cubical) > target_msdb) return;
+        const std::uint64_t dist =
+            space_.cubical_distance(cand->id.cubical, key.cubical);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = cand;
+        }
+      };
+      consider(cur->cyclic_larger);
+      consider(cur->cyclic_smaller);
+      for (const NodeHandle h : cur->inside_pred) consider(h);
+      for (const NodeHandle h : cur->inside_succ) consider(h);
+      if (best != nullptr) {
+        hop(best, kDescend, "cyclic/inside");
+        continue;
+      }
+    }
+
+    // Phase move unavailable (void or faulty links): "the message can be
+    // forwarded to a node in the leaf sets" (paper Sec. 3.2).
+    if (best_leaf == nullptr) break;
+    hop(best_leaf, kTraverse, "leaf-fallback");
+  }
+
+  result.destination = handle_of(cur->id);
+  result.success = true;  // Cycloid lookups always terminate at a live node
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// Self-organization (paper Sec. 3.3)
+
+dht::NodeHandle CycloidNetwork::join(std::uint64_t seed) {
+  const CccId id = space_.id_from_hash(util::mix64(seed));
+  if (!insert(id)) return kNoNode;
+  return handle_of(id);
+}
+
+void CycloidNetwork::leave(NodeHandle node) {
+  CYCLOID_EXPECTS(contains(node));
+  const CccId id = id_of(node);
+  unlink(node);
+  // The departing node notifies its inside leaf set (and, when primary, its
+  // outside leaf set, which cascades through the neighboring cycles); all
+  // leaf sets referencing it are repaired. Cubical/cyclic entries elsewhere
+  // stay stale until stabilization.
+  refresh_leafsets_around(id.cubical);
+}
+
+void CycloidNetwork::fail_simultaneously(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<NodeHandle> victims;
+  for (const auto& [pos, handle] : ring_) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) {
+    victims.pop_back();  // keep the network non-empty
+  }
+  for (const NodeHandle handle : victims) unlink(handle);
+  // Graceful departures repair every leaf set; routing tables stay frozen.
+  for (const auto& [handle, node] : nodes_) compute_leaf_sets(*node);
+}
+
+void CycloidNetwork::fail_ungraceful(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  // Nodes vanish without warning: nobody is notified, so leaf sets stay
+  // stale alongside the routing tables (paper Sec. 5's open problem).
+  // Lookups discover the damage through timeouts until stabilization.
+  std::vector<NodeHandle> victims;
+  for (const auto& [pos, handle] : ring_) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) {
+    victims.pop_back();
+  }
+  for (const NodeHandle handle : victims) unlink(handle);
+}
+
+void CycloidNetwork::stabilize_one(NodeHandle node) {
+  CycloidNode* state = find(node);
+  if (state == nullptr) return;  // departed before its stabilization timer
+  compute_routing_table(*state);
+  compute_leaf_sets(*state);
+}
+
+void CycloidNetwork::stabilize_all() {
+  for (const auto& [handle, node] : nodes_) {
+    compute_routing_table(*node);
+    compute_leaf_sets(*node);
+  }
+}
+
+double CycloidNetwork::link_latency(NodeHandle a, NodeHandle b) const {
+  const CycloidNode* na = find(a);
+  const CycloidNode* nb = find(b);
+  CYCLOID_EXPECTS(na != nullptr && nb != nullptr);
+  const auto axis = [](double u, double v) {
+    const double d = u > v ? u - v : v - u;
+    return d > 0.5 ? 1.0 - d : d;
+  };
+  const double dx = axis(na->x, nb->x);
+  const double dy = axis(na->y, nb->y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double CycloidNetwork::route_latency(NodeHandle from,
+                                     const std::vector<RouteStep>& trace) const {
+  double total = 0.0;
+  NodeHandle prev = from;
+  for (const RouteStep& step : trace) {
+    total += link_latency(prev, step.node);
+    prev = step.node;
+  }
+  return total;
+}
+
+void CycloidNetwork::reset_query_load() {
+  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
+}
+
+std::vector<std::uint64_t> CycloidNetwork::query_loads() const {
+  std::vector<std::uint64_t> loads;
+  loads.reserve(nodes_.size());
+  for (const auto& [pos, handle] : ring_) {
+    loads.push_back(find(handle)->queries_received);
+  }
+  return loads;
+}
+
+}  // namespace cycloid::ccc

@@ -1,0 +1,49 @@
+// Per-node routing state of a Cycloid participant.
+//
+// A 7-entry Cycloid node (paper Table 2) keeps:
+//   * one cubical neighbour   (k-1, a_{d-1}..a_{k+1} !a_k x..x)
+//   * two cyclic neighbours   (k-1, nearest cubical index >= / <= its own)
+//   * inside leaf set         predecessor + successor on the local cycle
+//   * outside leaf set        primary node of the preceding + succeeding
+//                             remote cycles on the large cycle
+// The 11-entry variant (paper Sec. 3.2) widens each leaf set to two
+// predecessors and two successors; `leaf_width` generalizes that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/id.hpp"
+#include "dht/types.hpp"
+
+namespace cycloid::ccc {
+
+struct CycloidNode {
+  CccId id;
+
+  // Proximity coordinates on a unit torus (derived deterministically from
+  // the identifier at insertion). Used only by the proximity-aware
+  // neighbour-selection extension and by latency accounting; the paper's
+  // own Cycloid ignores network proximity.
+  double x = 0.0;
+  double y = 0.0;
+
+  // Routing table (kNoNode when the pattern matches no participant, e.g. for
+  // every node with cyclic index 0). These entries may go stale between
+  // stabilizations; contacting a departed entry costs a timeout.
+  dht::NodeHandle cubical_neighbor = dht::kNoNode;
+  dht::NodeHandle cyclic_larger = dht::kNoNode;
+  dht::NodeHandle cyclic_smaller = dht::kNoNode;
+
+  // Leaf sets, nearest first. Maintained eagerly by the join/leave protocol,
+  // so (unlike the routing table) they always reference live nodes.
+  std::vector<dht::NodeHandle> inside_pred;
+  std::vector<dht::NodeHandle> inside_succ;
+  std::vector<dht::NodeHandle> outside_pred;
+  std::vector<dht::NodeHandle> outside_succ;
+
+  // Query-load counter (paper Fig. 10): lookup messages received.
+  std::uint64_t queries_received = 0;
+};
+
+}  // namespace cycloid::ccc

@@ -1,0 +1,97 @@
+// Abstract overlay-network interface.
+//
+// All four DHTs built in this repository — Cycloid (the paper's
+// contribution), and the Viceroy, Koorde, and Chord comparators — implement
+// this interface, so every experiment driver in src/exp runs unmodified
+// against each of them. The simulation is message-level: a lookup is executed
+// synchronously, hop by hop, and its cost is returned in a LookupResult.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dht/types.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::dht {
+
+class DhtNetwork {
+ public:
+  virtual ~DhtNetwork() = default;
+
+  DhtNetwork() = default;
+  DhtNetwork(const DhtNetwork&) = delete;
+  DhtNetwork& operator=(const DhtNetwork&) = delete;
+
+  /// Human-readable overlay name ("Cycloid-7", "Viceroy", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of live participants.
+  virtual std::size_t node_count() const = 0;
+
+  /// Handles of all live nodes (ascending identifier order).
+  virtual std::vector<NodeHandle> node_handles() const = 0;
+
+  /// True when `node` is a live participant.
+  virtual bool contains(NodeHandle node) const = 0;
+
+  /// Uniformly random live node.
+  virtual NodeHandle random_node(util::Rng& rng) const = 0;
+
+  /// Names of the routing phases reported in LookupResult::phase_hops.
+  virtual std::vector<std::string> phase_names() const = 0;
+
+  /// Ground truth: the node responsible for the key under this overlay's key
+  /// assignment rule, computed from global knowledge (used to check lookup
+  /// correctness, never by the routing itself).
+  virtual NodeHandle owner_of(KeyHash key) const = 0;
+
+  /// Route a lookup from `from` toward the node responsible for `key`,
+  /// counting hops, timeouts, and per-phase costs.
+  virtual LookupResult lookup(NodeHandle from, KeyHash key) = 0;
+
+  /// Add one node whose identifier derives from `seed`; returns its handle
+  /// (kNoNode if the derived identifier was already taken).
+  virtual NodeHandle join(std::uint64_t seed) = 0;
+
+  /// Graceful departure: the node notifies the neighbors its protocol says
+  /// to notify; everything else goes stale until stabilization.
+  virtual void leave(NodeHandle node) = 0;
+
+  /// Simultaneous graceful departures: every node leaves with probability p
+  /// (paper Sec. 4.3). No stabilization runs afterwards.
+  virtual void fail_simultaneously(double p, util::Rng& rng) = 0;
+
+  /// Simultaneous UNGRACEFUL departures — nodes vanish without notifying
+  /// anyone (the paper's future-work scenario, Sec. 5): even the eagerly
+  /// maintained structures (leaf sets, successor lists) go stale, so
+  /// lookups may fail until stabilization repairs them. Overlays whose
+  /// maintenance model has no stale state (Viceroy, CAN — they repair
+  /// incoming links as part of any membership change in this simulation)
+  /// inherit the graceful behaviour.
+  virtual void fail_ungraceful(double p, util::Rng& rng) {
+    fail_simultaneously(p, rng);
+  }
+
+  /// Refresh one node's routing state from the live membership (the
+  /// "system stabilization" the paper delegates repairs to).
+  virtual void stabilize_one(NodeHandle node) = 0;
+
+  /// Refresh every node's routing state.
+  virtual void stabilize_all() = 0;
+
+  /// Query-load accounting (paper Fig. 10): number of lookup messages each
+  /// node received as an intermediate or final destination.
+  virtual void reset_query_load() = 0;
+  virtual std::vector<std::uint64_t> query_loads() const = 0;
+
+  /// Maintenance-overhead accounting — the fifth DHT metric of paper
+  /// Sec. 4: the number of per-node state updates the protocol performed
+  /// (leaf-set/successor repairs on join/leave, stabilization refreshes).
+  /// One update ~ one maintenance message exchange with that node.
+  virtual std::uint64_t maintenance_updates() const { return 0; }
+  virtual void reset_maintenance() {}
+};
+
+}  // namespace cycloid::dht

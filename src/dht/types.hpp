@@ -1,0 +1,46 @@
+// Shared vocabulary types for all overlay implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cycloid::dht {
+
+/// Opaque per-overlay node handle. Each overlay documents its encoding
+/// (Cycloid packs (cubical << 8) | cyclic; ring DHTs use the ring ID;
+/// Viceroy uses a stable serial number).
+using NodeHandle = std::uint64_t;
+
+/// Sentinel for "no such node".
+inline constexpr NodeHandle kNoNode = ~0ULL;
+
+/// A 64-bit consistent hash of a key name; overlays reduce it into their own
+/// identifier spaces internally.
+using KeyHash = std::uint64_t;
+
+/// Maximum number of per-overlay routing phases tracked in a lookup.
+inline constexpr std::size_t kMaxPhases = 4;
+
+/// Outcome of one simulated lookup.
+struct LookupResult {
+  /// Nodes traversed after the source (message forwardings).
+  int hops = 0;
+  /// Attempts to contact a departed node (paper Sec. 4.3: "a timeout occurs
+  /// when a node tries to contact a departed node"). Timeouts are not hops.
+  int timeouts = 0;
+  /// False when routing got stuck (e.g. Koorde with a dead de Bruijn pointer
+  /// and all backups dead) — the paper's "lookup failure".
+  bool success = true;
+  /// Node at which the lookup terminated (the key's storing node on success).
+  NodeHandle destination = kNoNode;
+  /// Hops attributed to each routing phase; slot meanings are given by the
+  /// overlay's phase_names(). Sums to `hops`.
+  std::array<int, kMaxPhases> phase_hops{};
+
+  void count_hop(std::size_t phase) {
+    ++hops;
+    ++phase_hops[phase];
+  }
+};
+
+}  // namespace cycloid::dht

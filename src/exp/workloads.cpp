@@ -1,0 +1,66 @@
+#include "exp/workloads.hpp"
+
+#include <unordered_map>
+
+#include "hash/keys.hpp"
+#include "util/contracts.hpp"
+
+namespace cycloid::exp {
+
+double WorkloadStats::phase_fraction(std::size_t i) const {
+  CYCLOID_EXPECTS(i < dht::kMaxPhases);
+  double total = 0.0;
+  for (const double t : phase_hop_totals) total += t;
+  return total == 0.0 ? 0.0 : phase_hop_totals[i] / total;
+}
+
+WorkloadStats run_random_lookups(dht::DhtNetwork& net, std::uint64_t count,
+                                 util::Rng& rng, bool check_owner) {
+  WorkloadStats out;
+  out.phase_names = net.phase_names();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const dht::NodeHandle source = net.random_node(rng);
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net.lookup(source, key);
+
+    ++out.lookups;
+    out.path_length.add(result.hops);
+    out.timeouts.add(result.timeouts);
+    for (std::size_t p = 0; p < dht::kMaxPhases; ++p) {
+      out.phase_hop_totals[p] += result.phase_hops[p];
+    }
+    if (!result.success) {
+      ++out.failures;
+    } else if (check_owner && result.destination != net.owner_of(key)) {
+      ++out.incorrect;
+    }
+  }
+  return out;
+}
+
+stats::Summary key_distribution(const dht::DhtNetwork& net,
+                                std::uint64_t key_count) {
+  std::unordered_map<dht::NodeHandle, std::uint64_t> counts;
+  for (std::uint64_t i = 0; i < key_count; ++i) {
+    ++counts[net.owner_of(hash::hash_index(i))];
+  }
+  stats::Summary per_node;
+  for (const dht::NodeHandle handle : net.node_handles()) {
+    const auto it = counts.find(handle);
+    per_node.add_count(it == counts.end() ? 0 : it->second);
+  }
+  return per_node;
+}
+
+stats::Summary query_load_distribution(dht::DhtNetwork& net,
+                                       std::uint64_t count, util::Rng& rng) {
+  net.reset_query_load();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    net.lookup(net.random_node(rng), rng());
+  }
+  stats::Summary loads;
+  for (const std::uint64_t load : net.query_loads()) loads.add_count(load);
+  return loads;
+}
+
+}  // namespace cycloid::exp

@@ -1,0 +1,48 @@
+// Workload runners shared by the bench binaries and the integration tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dht/network.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::exp {
+
+/// Aggregate outcome of a batch of lookups.
+struct WorkloadStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t failures = 0;    // routing gave up (Koorde broken pointers)
+  std::uint64_t incorrect = 0;   // terminated at a node that is not the owner
+  stats::Summary path_length;
+  stats::Summary timeouts;
+  std::array<double, dht::kMaxPhases> phase_hop_totals{};
+  std::vector<std::string> phase_names;
+
+  double mean_path() const { return path_length.mean(); }
+  double mean_timeouts() const { return timeouts.mean(); }
+  /// Fraction of all hops spent in phase `i`.
+  double phase_fraction(std::size_t i) const;
+};
+
+/// Run `count` lookups from uniform-random sources toward uniform-random
+/// keys. When `check_owner`, each lookup's destination is compared against
+/// the overlay's ground-truth owner (counted in `incorrect` on mismatch).
+WorkloadStats run_random_lookups(dht::DhtNetwork& net, std::uint64_t count,
+                                 util::Rng& rng, bool check_owner = true);
+
+/// Hash `key_count` keys into the overlay and count how many each node
+/// stores; the returned summary has one sample per node (zero included) —
+/// the quantity plotted in paper Figs. 8 and 9.
+stats::Summary key_distribution(const dht::DhtNetwork& net,
+                                std::uint64_t key_count);
+
+/// Run `count` random lookups and return the per-node received-query
+/// counters (paper Fig. 10).
+stats::Summary query_load_distribution(dht::DhtNetwork& net,
+                                       std::uint64_t count, util::Rng& rng);
+
+}  // namespace cycloid::exp

@@ -1,0 +1,9 @@
+#include "hash/keys.hpp"
+
+namespace cycloid::hash {
+
+std::uint64_t hash_index(std::uint64_t index) {
+  return hash_name("key-" + std::to_string(index));
+}
+
+}  // namespace cycloid::hash

@@ -1,0 +1,57 @@
+// From-scratch SHA-1 (FIPS 180-1).
+//
+// DHT papers of the Chord/Pastry family — Cycloid included — derive node and
+// key identifiers from SHA-1 of a name or address. We implement the digest
+// here rather than depend on a crypto library: the repository builds offline
+// and the hash is a substrate of the system under study, not a security
+// boundary (SHA-1's cryptographic weaknesses are irrelevant for consistent
+// hashing into a 2^d identifier space).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cycloid::hash {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = 20;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha1() noexcept { reset(); }
+
+  /// Reset to the initial state so the object can be reused.
+  void reset() noexcept;
+
+  /// Absorb `length` bytes.
+  void update(const void* data, std::size_t length) noexcept;
+  void update(std::string_view text) noexcept {
+    update(text.data(), text.size());
+  }
+
+  /// Finish the digest. The object must be reset() before further use.
+  Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Digest digest(std::string_view text) noexcept;
+
+  /// First eight digest bytes as a big-endian 64-bit integer — the value all
+  /// overlays in this repository reduce into their identifier spaces.
+  static std::uint64_t digest64(std::string_view text) noexcept;
+
+  /// Render a digest as lowercase hex (for tests and examples).
+  static std::string to_hex(const Digest& digest);
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace cycloid::hash

@@ -1,0 +1,392 @@
+#include "koorde/koorde.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace cycloid::koorde {
+
+namespace {
+using dht::kNoNode;
+using dht::LookupResult;
+using dht::NodeHandle;
+using util::clockwise_distance;
+using util::in_half_open_cw;
+}  // namespace
+
+KoordeNetwork::KoordeNetwork(int bits, int successor_list_length,
+                             int backup_count, int shift_bits)
+    : bits_(bits),
+      space_size_(1ULL << bits),
+      successor_list_length_(successor_list_length),
+      backup_count_(backup_count),
+      shift_bits_(shift_bits) {
+  CYCLOID_EXPECTS(bits >= 1 && bits <= 32);
+  CYCLOID_EXPECTS(successor_list_length >= 1);
+  CYCLOID_EXPECTS(backup_count >= 0);
+  // Identifiers are read as whole base-2^shift_bits digit strings.
+  CYCLOID_EXPECTS(shift_bits >= 1 && bits % shift_bits == 0);
+}
+
+std::unique_ptr<KoordeNetwork> KoordeNetwork::build_random(int bits,
+                                                           std::size_t count,
+                                                           util::Rng& rng) {
+  auto net = std::make_unique<KoordeNetwork>(bits);
+  CYCLOID_EXPECTS(count >= 1 && count <= net->space_size_);
+  while (net->node_count() < count) net->insert(rng.below(net->space_size_));
+  net->stabilize_all();
+  return net;
+}
+
+std::unique_ptr<KoordeNetwork> KoordeNetwork::build_complete(int bits) {
+  auto net = std::make_unique<KoordeNetwork>(bits);
+  for (std::uint64_t id = 0; id < net->space_size_; ++id) net->insert(id);
+  net->stabilize_all();
+  return net;
+}
+
+bool KoordeNetwork::insert(std::uint64_t id) {
+  CYCLOID_EXPECTS(id < space_size_);
+  if (nodes_.contains(id)) return false;
+
+  auto node = std::make_unique<KoordeNode>();
+  node->id = id;
+  KoordeNode* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  ring_.emplace(id, id);
+  handle_pos_.emplace(id, handle_vec_.size());
+  handle_vec_.push_back(id);
+
+  compute_state(*raw);
+  refresh_ring_around(id);
+  return true;
+}
+
+void KoordeNetwork::unlink(NodeHandle handle) {
+  CYCLOID_EXPECTS(nodes_.contains(handle));
+  ring_.erase(handle);
+  const std::size_t pos = handle_pos_.at(handle);
+  const NodeHandle moved = handle_vec_.back();
+  handle_vec_[pos] = moved;
+  handle_pos_[moved] = pos;
+  handle_vec_.pop_back();
+  handle_pos_.erase(handle);
+  nodes_.erase(handle);
+}
+
+KoordeNode* KoordeNetwork::find(NodeHandle handle) {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const KoordeNode* KoordeNetwork::find(NodeHandle handle) const {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const KoordeNode& KoordeNetwork::node_state(NodeHandle handle) const {
+  const KoordeNode* node = find(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  return *node;
+}
+
+std::vector<NodeHandle> KoordeNetwork::node_handles() const {
+  std::vector<NodeHandle> handles;
+  handles.reserve(ring_.size());
+  for (const auto& [id, handle] : ring_) handles.push_back(handle);
+  return handles;
+}
+
+bool KoordeNetwork::contains(NodeHandle node) const {
+  return nodes_.contains(node);
+}
+
+NodeHandle KoordeNetwork::random_node(util::Rng& rng) const {
+  CYCLOID_EXPECTS(!handle_vec_.empty());
+  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
+}
+
+std::vector<std::string> KoordeNetwork::phase_names() const {
+  return {"debruijn", "successor"};
+}
+
+NodeHandle KoordeNetwork::successor_of(std::uint64_t id) const {
+  CYCLOID_EXPECTS(!ring_.empty());
+  const auto it = ring_.lower_bound(id);
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+NodeHandle KoordeNetwork::predecessor_of(std::uint64_t id) const {
+  CYCLOID_EXPECTS(!ring_.empty());
+  const auto it = ring_.lower_bound(id);
+  return it == ring_.begin() ? ring_.rbegin()->second : std::prev(it)->second;
+}
+
+NodeHandle KoordeNetwork::predecessor_incl(std::uint64_t id) const {
+  CYCLOID_EXPECTS(!ring_.empty());
+  const auto it = ring_.upper_bound(id);
+  return it == ring_.begin() ? ring_.rbegin()->second : std::prev(it)->second;
+}
+
+void KoordeNetwork::repair_ring(KoordeNode& node) const {
+  const NodeHandle old_pred = node.predecessor;
+  const auto old_successors = node.successors;
+  node.predecessor = predecessor_of(node.id);
+  node.successors.clear();
+  std::uint64_t walk = node.id;
+  for (int s = 0; s < successor_list_length_; ++s) {
+    const NodeHandle succ = successor_of((walk + 1) % space_size_);
+    node.successors.push_back(succ);
+    walk = succ;
+  }
+  if (node.predecessor != old_pred || node.successors != old_successors) {
+    ++maintenance_updates_;
+  }
+}
+
+void KoordeNetwork::compute_state(KoordeNode& node) const {
+  repair_ring(node);
+
+  // First de Bruijn node: the live node at or immediately preceding
+  // 2^shift_bits * m (2m for the classic degree-2 graph).
+  const std::uint64_t db_target = (node.id << shift_bits_) % space_size_;
+  node.de_bruijn = predecessor_incl(db_target);
+  node.db_backups.clear();
+  std::uint64_t walk = node.de_bruijn;
+  for (int b = 0; b < backup_count_; ++b) {
+    walk = predecessor_of(walk);
+    node.db_backups.push_back(walk);
+  }
+  node.db_broken = false;
+}
+
+void KoordeNetwork::refresh_ring_around(std::uint64_t id) {
+  std::uint64_t cursor = id;
+  for (int i = 0; i <= successor_list_length_; ++i) {
+    if (ring_.empty()) return;
+    const NodeHandle handle = predecessor_of(cursor);
+    KoordeNode* node = find(handle);
+    CYCLOID_ASSERT(node != nullptr);
+    repair_ring(*node);
+    cursor = node->id;
+  }
+  if (!ring_.empty()) {
+    // Strictly after `id`: a freshly joined node must not shadow its
+    // successor here.
+    KoordeNode* next = find(successor_of((id + 1) % space_size_));
+    CYCLOID_ASSERT(next != nullptr);
+    next->predecessor = predecessor_of(next->id);
+  }
+}
+
+NodeHandle KoordeNetwork::owner_of(dht::KeyHash key) const {
+  return successor_of(key % space_size_);
+}
+
+KoordeNetwork::ImaginaryStart KoordeNetwork::best_start(
+    const KoordeNode& node, std::uint64_t key) const {
+  const std::uint64_t mask = space_size_ - 1;
+  // First live successor (later entries only matter after ungraceful
+  // departures); with none alive, fall through to the trivial start — the
+  // lookup loop will detect the dead ring and fail.
+  const KoordeNode* succ = nullptr;
+  for (const NodeHandle sh : node.successors) {
+    succ = find(sh);
+    if (succ != nullptr) break;
+  }
+  if (succ == nullptr) return ImaginaryStart{node.id, key & mask, bits_};
+  const std::uint64_t start = node.id;
+  const std::uint64_t span =
+      clockwise_distance(node.id, succ->id, space_size_);
+
+  // Largest t such that some imaginary node in [node, successor) — the
+  // imaginary range this node is the real predecessor of — already has the
+  // key's top t bits as its low t bits; the remaining bits_ - t key bits
+  // are injected MSB-first, one shift_bits-wide digit per de Bruijn hop.
+  // t is restricted to whole digits so the injection stays aligned (t = 0
+  // always qualifies, since shift_bits divides bits).
+  const auto make_start = [&](std::uint64_t imaginary, int t) {
+    const std::uint64_t inject = t >= bits_ ? 0 : ((key << t) & mask);
+    return ImaginaryStart{imaginary, inject, bits_,
+                          (bits_ - t) / shift_bits_};
+  };
+  for (int t = bits_; t >= 0; --t) {
+    if ((bits_ - t) % shift_bits_ != 0) continue;
+    const std::uint64_t pattern = t == 0 ? 0 : key >> (bits_ - t);
+    const std::uint64_t t_mask = t == 0 ? 0 : ((t == 64 ? ~0ULL : (1ULL << t) - 1));
+    const std::uint64_t offset = (pattern - start) & t_mask;
+    const std::uint64_t candidate = (start + offset) & mask;
+    if (clockwise_distance(node.id, candidate, space_size_) < span) {
+      return make_start(candidate, t);
+    }
+  }
+  // Reached only in a singleton ring (span 0), where the source owns the key.
+  return make_start(start, 0);
+}
+
+LookupResult KoordeNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+  LookupResult result;
+  KoordeNode* cur = find(from);
+  CYCLOID_EXPECTS(cur != nullptr);
+  const std::uint64_t mask = space_size_ - 1;
+  const std::uint64_t target = key & mask;
+
+  // Distinct-departed-node timeout accounting (paper Sec. 4.3).
+  std::vector<NodeHandle> dead_seen;
+  const auto try_alive = [&](NodeHandle h) -> KoordeNode* {
+    if (h == kNoNode) return nullptr;
+    KoordeNode* node = find(h);
+    if (node == nullptr) {
+      if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
+          dead_seen.end()) {
+        dead_seen.push_back(h);
+        ++result.timeouts;
+      }
+      return nullptr;
+    }
+    return node;
+  };
+
+  ImaginaryStart path = best_start(*cur, target);
+
+  // Resolve the current node's de Bruijn pointer, promoting a live backup on
+  // timeout; nullptr means pointer and all backups are dead (lookup failure).
+  const auto resolve_db = [&](KoordeNode& node) -> KoordeNode* {
+    if (node.db_broken) return nullptr;
+    KoordeNode* db = try_alive(node.de_bruijn);
+    if (db != nullptr) return db;
+    for (std::size_t b = 0; b < node.db_backups.size(); ++b) {
+      KoordeNode* backup = try_alive(node.db_backups[b]);
+      if (backup != nullptr) {
+        node.de_bruijn = node.db_backups[b];  // promote (repair-on-timeout)
+        node.db_backups.erase(node.db_backups.begin(),
+                              node.db_backups.begin() +
+                                  static_cast<std::ptrdiff_t>(b) + 1);
+        return backup;
+      }
+    }
+    node.db_broken = true;
+    return nullptr;
+  };
+
+  const auto hop = [&](KoordeNode* next, Phase phase) {
+    result.count_hop(phase);
+    ++next->queries_received;
+    cur = next;
+  };
+
+  while (true) {
+    // Owner check: target in (predecessor, cur].
+    if (cur->predecessor == cur->id ||
+        in_half_open_cw(target, cur->predecessor, cur->id, space_size_)) {
+      break;
+    }
+
+    KoordeNode* succ = nullptr;
+    for (const NodeHandle sh : cur->successors) {
+      succ = try_alive(sh);
+      if (succ != nullptr) break;
+    }
+    if (succ == nullptr) {
+      // Whole successor list dead (ungraceful mass departure): stuck.
+      result.success = false;
+      break;
+    }
+    if (in_half_open_cw(target, cur->id, succ->id, space_size_)) {
+      hop(succ, kSuccessor);
+      break;
+    }
+
+    if (path.steps > 0 &&
+        clockwise_distance(cur->id, path.imaginary, space_size_) <
+            clockwise_distance(cur->id, succ->id, space_size_)) {
+      // Walk one de Bruijn edge: shift the imaginary node left by the
+      // digit width, injecting the next shift_bits key bits, and move to
+      // the real predecessor via the pointer.
+      KoordeNode* db = resolve_db(*cur);
+      if (db == nullptr) {
+        result.success = false;
+        result.destination = cur->id;
+        return result;
+      }
+      const std::uint64_t digit =
+          (path.kshift >> (path.window - shift_bits_)) &
+          ((1ULL << shift_bits_) - 1);
+      path.imaginary = ((path.imaginary << shift_bits_) | digit) & mask;
+      path.kshift = (path.kshift << shift_bits_) &
+                    (path.window == 64 ? ~0ULL : (1ULL << path.window) - 1);
+      --path.steps;
+      if (db != cur) hop(db, kDeBruijn);  // self-hop is a local computation
+      continue;
+    }
+
+    // Imaginary node (or, once steps exhaust, the key itself) lies beyond
+    // the successor: advance along the ring.
+    hop(succ, kSuccessor);
+  }
+
+  result.destination = cur->id;
+  result.success = true;
+  return result;
+}
+
+NodeHandle KoordeNetwork::join(std::uint64_t seed) {
+  const std::uint64_t id = util::mix64(seed) % space_size_;
+  if (!insert(id)) return kNoNode;
+  return id;
+}
+
+void KoordeNetwork::leave(NodeHandle node) {
+  CYCLOID_EXPECTS(contains(node));
+  const std::uint64_t id = find(node)->id;
+  unlink(node);
+  if (!ring_.empty()) refresh_ring_around(id);
+}
+
+void KoordeNetwork::fail_simultaneously(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<NodeHandle> victims;
+  for (const auto& [id, handle] : ring_) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
+  for (const NodeHandle handle : victims) unlink(handle);
+  // Graceful departures repair the ring; de Bruijn pointers stay frozen.
+  for (const auto& [handle, node] : nodes_) repair_ring(*node);
+}
+
+void KoordeNetwork::fail_ungraceful(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  // Nobody is notified: ring structure and de Bruijn pointers all go stale.
+  std::vector<NodeHandle> victims;
+  for (const auto& [id, handle] : ring_) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
+  for (const NodeHandle handle : victims) unlink(handle);
+}
+
+void KoordeNetwork::stabilize_one(NodeHandle node) {
+  KoordeNode* state = find(node);
+  if (state == nullptr) return;
+  compute_state(*state);
+}
+
+void KoordeNetwork::stabilize_all() {
+  for (const auto& [handle, node] : nodes_) compute_state(*node);
+}
+
+void KoordeNetwork::reset_query_load() {
+  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
+}
+
+std::vector<std::uint64_t> KoordeNetwork::query_loads() const {
+  std::vector<std::uint64_t> loads;
+  loads.reserve(nodes_.size());
+  for (const auto& [id, handle] : ring_) {
+    loads.push_back(find(handle)->queries_received);
+  }
+  return loads;
+}
+
+}  // namespace cycloid::koorde

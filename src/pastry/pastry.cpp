@@ -1,0 +1,481 @@
+#include "pastry/pastry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hpp"
+
+namespace cycloid::pastry {
+
+namespace {
+using dht::kNoNode;
+using dht::LookupResult;
+using dht::NodeHandle;
+using util::circular_distance;
+using util::clockwise_distance;
+}  // namespace
+
+PastryNetwork::PastryNetwork(int bits, int bits_per_digit, int leaf_set_size,
+                             int neighborhood_size)
+    : bits_(bits),
+      bits_per_digit_(bits_per_digit),
+      rows_(bits / bits_per_digit),
+      space_size_(1ULL << bits),
+      leaf_half_(leaf_set_size / 2),
+      neighborhood_size_(neighborhood_size) {
+  CYCLOID_EXPECTS(bits >= 2 && bits <= 32);
+  CYCLOID_EXPECTS(bits_per_digit >= 1 && bits % bits_per_digit == 0);
+  CYCLOID_EXPECTS(leaf_set_size >= 2 && leaf_set_size % 2 == 0);
+  CYCLOID_EXPECTS(neighborhood_size >= 0);
+}
+
+std::unique_ptr<PastryNetwork> PastryNetwork::build_random(
+    int bits, std::size_t count, util::Rng& rng, int bits_per_digit) {
+  auto net = std::make_unique<PastryNetwork>(bits, bits_per_digit);
+  CYCLOID_EXPECTS(count >= 1 && count <= net->space_size_);
+  while (net->node_count() < count) {
+    net->insert(rng.below(net->space_size_), rng.uniform01(), rng.uniform01());
+  }
+  net->stabilize_all();
+  return net;
+}
+
+int PastryNetwork::digit(std::uint64_t id, int row) const {
+  CYCLOID_EXPECTS(row >= 0 && row < rows_);
+  const int shift = bits_ - (row + 1) * bits_per_digit_;
+  return static_cast<int>((id >> shift) & ((1ULL << bits_per_digit_) - 1));
+}
+
+int PastryNetwork::shared_prefix_digits(std::uint64_t a,
+                                        std::uint64_t b) const {
+  for (int row = 0; row < rows_; ++row) {
+    if (digit(a, row) != digit(b, row)) return row;
+  }
+  return rows_;
+}
+
+bool PastryNetwork::insert(std::uint64_t id, double x, double y) {
+  CYCLOID_EXPECTS(id < space_size_);
+  if (nodes_.contains(id)) return false;
+
+  auto node = std::make_unique<PastryNode>();
+  node->id = id;
+  node->x = x;
+  node->y = y;
+  PastryNode* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  ring_.emplace(id, id);
+  handle_pos_.emplace(id, handle_vec_.size());
+  handle_vec_.push_back(id);
+
+  compute_leaf_sets(*raw);
+  compute_routing_table(*raw);
+  compute_neighborhood(*raw);
+  refresh_leafsets_around(id);
+  return true;
+}
+
+void PastryNetwork::unlink(NodeHandle handle) {
+  CYCLOID_EXPECTS(nodes_.contains(handle));
+  ring_.erase(handle);
+  const std::size_t pos = handle_pos_.at(handle);
+  const NodeHandle moved = handle_vec_.back();
+  handle_vec_[pos] = moved;
+  handle_pos_[moved] = pos;
+  handle_vec_.pop_back();
+  handle_pos_.erase(handle);
+  nodes_.erase(handle);
+}
+
+PastryNode* PastryNetwork::find(NodeHandle handle) {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const PastryNode* PastryNetwork::find(NodeHandle handle) const {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const PastryNode& PastryNetwork::node_state(NodeHandle handle) const {
+  const PastryNode* node = find(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  return *node;
+}
+
+std::vector<NodeHandle> PastryNetwork::node_handles() const {
+  std::vector<NodeHandle> handles;
+  handles.reserve(ring_.size());
+  for (const auto& [id, handle] : ring_) handles.push_back(handle);
+  return handles;
+}
+
+bool PastryNetwork::contains(NodeHandle node) const {
+  return nodes_.contains(node);
+}
+
+NodeHandle PastryNetwork::random_node(util::Rng& rng) const {
+  CYCLOID_EXPECTS(!handle_vec_.empty());
+  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
+}
+
+std::vector<std::string> PastryNetwork::phase_names() const {
+  return {"prefix", "leaf"};
+}
+
+NodeHandle PastryNetwork::successor_of(std::uint64_t id) const {
+  CYCLOID_EXPECTS(!ring_.empty());
+  const auto it = ring_.lower_bound(id);
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+NodeHandle PastryNetwork::predecessor_of(std::uint64_t id) const {
+  CYCLOID_EXPECTS(!ring_.empty());
+  const auto it = ring_.lower_bound(id);
+  return it == ring_.begin() ? ring_.rbegin()->second : std::prev(it)->second;
+}
+
+NodeHandle PastryNetwork::closest_to(std::uint64_t id) const {
+  const NodeHandle succ = successor_of(id);
+  const NodeHandle pred = predecessor_of(id);
+  if (succ == pred) return succ;  // one or two nodes
+  const std::uint64_t up = clockwise_distance(id, succ, space_size_);
+  const std::uint64_t down = clockwise_distance(pred, id, space_size_);
+  if (succ == id || up == 0) return succ;
+  return up <= down ? succ : pred;  // ties go clockwise (the successor)
+}
+
+double PastryNetwork::proximity(const PastryNode& a,
+                                const PastryNode& b) const {
+  // Euclidean distance on the unit torus.
+  const auto axis = [](double u, double v) {
+    const double d = std::fabs(u - v);
+    return d > 0.5 ? 1.0 - d : d;
+  };
+  const double dx = axis(a.x, b.x);
+  const double dy = axis(a.y, b.y);
+  return dx * dx + dy * dy;
+}
+
+void PastryNetwork::compute_leaf_sets(PastryNode& node) const {
+  const auto old_smaller = std::move(node.leaf_smaller);
+  const auto old_larger = std::move(node.leaf_larger);
+  node.leaf_smaller.clear();
+  node.leaf_larger.clear();
+  const auto self = ring_.find(node.id);
+  CYCLOID_ASSERT(self != ring_.end());
+  auto down = self;
+  for (int i = 0; i < leaf_half_; ++i) {
+    down = down == ring_.begin() ? std::prev(ring_.end()) : std::prev(down);
+    if (down->second == node.id) break;  // wrapped all the way around
+    node.leaf_smaller.push_back(down->second);
+  }
+  auto up = self;
+  for (int i = 0; i < leaf_half_; ++i) {
+    ++up;
+    if (up == ring_.end()) up = ring_.begin();
+    if (up->second == node.id) break;
+    node.leaf_larger.push_back(up->second);
+  }
+  if (node.leaf_smaller != old_smaller || node.leaf_larger != old_larger) {
+    ++maintenance_updates_;
+  }
+}
+
+void PastryNetwork::compute_routing_table(PastryNode& node) const {
+  ++maintenance_updates_;
+  node.routing_table.assign(
+      static_cast<std::size_t>(rows_),
+      std::vector<NodeHandle>(1ULL << bits_per_digit_, kNoNode));
+  for (int row = 0; row < rows_; ++row) {
+    const int own = digit(node.id, row);
+    const int suffix_bits = bits_ - (row + 1) * bits_per_digit_;
+    for (int col = 0; col < (1 << bits_per_digit_); ++col) {
+      if (col == own) continue;
+      // Identifiers sharing the first `row` digits with node.id and having
+      // digit `col` at position `row` form a contiguous window.
+      const std::uint64_t prefix =
+          (node.id >> (suffix_bits + bits_per_digit_))
+              << (suffix_bits + bits_per_digit_);
+      const std::uint64_t base =
+          prefix | (static_cast<std::uint64_t>(col) << suffix_bits);
+      const std::uint64_t window = 1ULL << suffix_bits;
+      // Prefer the participant whose suffix matches the node's own.
+      const std::uint64_t preferred =
+          base | (node.id & (window - 1));
+      const auto at_or_after = ring_.lower_bound(preferred);
+      NodeHandle best = kNoNode;
+      std::uint64_t best_gap = ~0ULL;
+      if (at_or_after != ring_.end() && at_or_after->first < base + window) {
+        best = at_or_after->second;
+        best_gap = at_or_after->first - preferred;
+      }
+      if (at_or_after != ring_.begin()) {
+        const auto before = std::prev(at_or_after);
+        if (before->first >= base && preferred - before->first < best_gap) {
+          best = before->second;
+        }
+      }
+      node.routing_table[static_cast<std::size_t>(row)]
+                        [static_cast<std::size_t>(col)] = best;
+    }
+  }
+}
+
+void PastryNetwork::compute_neighborhood(PastryNode& node) const {
+  node.neighborhood.clear();
+  if (neighborhood_size_ == 0) return;
+  // |M| proximity-nearest nodes (linear scan; refreshed by stabilization).
+  std::vector<std::pair<double, NodeHandle>> ranked;
+  ranked.reserve(nodes_.size());
+  for (const auto& [handle, other] : nodes_) {
+    if (handle == node.id) continue;
+    ranked.emplace_back(proximity(node, *other), handle);
+  }
+  const std::size_t keep = std::min<std::size_t>(
+      static_cast<std::size_t>(neighborhood_size_), ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(keep),
+                    ranked.end());
+  for (std::size_t i = 0; i < keep; ++i) {
+    node.neighborhood.push_back(ranked[i].second);
+  }
+}
+
+void PastryNetwork::refresh_leafsets_around(std::uint64_t id) {
+  // Membership change at `id` affects the leaf sets of leaf_half_ nodes on
+  // each side.
+  std::uint64_t cursor = id;
+  for (int i = 0; i < leaf_half_ + 1; ++i) {
+    if (ring_.empty()) return;
+    const NodeHandle handle = predecessor_of(cursor);
+    PastryNode* node = find(handle);
+    CYCLOID_ASSERT(node != nullptr);
+    compute_leaf_sets(*node);
+    cursor = node->id;
+    if (cursor == id) break;  // wrapped
+  }
+  cursor = id;
+  for (int i = 0; i < leaf_half_ + 1; ++i) {
+    if (ring_.empty()) return;
+    const NodeHandle handle = successor_of((cursor + 1) % space_size_);
+    PastryNode* node = find(handle);
+    CYCLOID_ASSERT(node != nullptr);
+    compute_leaf_sets(*node);
+    cursor = node->id;
+    if (cursor == id) break;
+  }
+}
+
+bool PastryNetwork::key_in_leaf_range(const PastryNode& node,
+                                      std::uint64_t key) const {
+  if (node.leaf_smaller.empty() || node.leaf_larger.empty()) return true;
+  if (node.leaf_smaller.size() < static_cast<std::size_t>(leaf_half_) ||
+      node.leaf_larger.size() < static_cast<std::size_t>(leaf_half_)) {
+    return true;  // leaf sets cover the whole (tiny) network
+  }
+  const std::uint64_t lo = node.leaf_smaller.back();
+  const std::uint64_t hi = node.leaf_larger.back();
+  const std::uint64_t span = clockwise_distance(lo, hi, space_size_);
+  return clockwise_distance(lo, key, space_size_) <= span;
+}
+
+NodeHandle PastryNetwork::owner_of(dht::KeyHash key) const {
+  return closest_to(key % space_size_);
+}
+
+LookupResult PastryNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+  LookupResult result;
+  PastryNode* cur = find(from);
+  CYCLOID_EXPECTS(cur != nullptr);
+  const std::uint64_t target = key % space_size_;
+
+  const auto hop = [&](PastryNode* next, Phase phase) {
+    result.count_hop(phase);
+    ++next->queries_received;
+    cur = next;
+  };
+
+  // Distinct-departed-node timeout accounting (paper Sec. 4.3).
+  std::vector<NodeHandle> dead_seen;
+  const auto try_alive = [&](NodeHandle h) -> PastryNode* {
+    if (h == kNoNode) return nullptr;
+    PastryNode* node = find(h);
+    if (node == nullptr) {
+      if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
+          dead_seen.end()) {
+        dead_seen.push_back(h);
+        ++result.timeouts;
+      }
+      return nullptr;
+    }
+    return node;
+  };
+
+  // Strictly-improving leaf-set candidate under the numeric metric.
+  const auto best_leaf = [&]() -> PastryNode* {
+    std::uint64_t best_dist = circular_distance(cur->id, target, space_size_);
+    const std::uint64_t cur_cw = clockwise_distance(target, cur->id, space_size_);
+    PastryNode* best = nullptr;
+    const auto consider = [&](const std::vector<NodeHandle>& entries) {
+      for (const NodeHandle h : entries) {
+        PastryNode* cand = try_alive(h);  // stale after ungraceful failures
+        if (cand == nullptr) continue;
+        const std::uint64_t dist =
+            circular_distance(cand->id, target, space_size_);
+        const std::uint64_t cand_cw =
+            clockwise_distance(target, cand->id, space_size_);
+        if (dist < best_dist ||
+            (dist == best_dist && cand_cw < cur_cw && best == nullptr)) {
+          best_dist = dist;
+          best = cand;
+        }
+      }
+    };
+    consider(cur->leaf_smaller);
+    consider(cur->leaf_larger);
+    return best;
+  };
+
+  // Prefix hops strictly extend the shared prefix and leaf hops strictly
+  // reduce numeric distance, so routing terminates; the budget is a safety
+  // net that forces pure (provably monotone) leaf descent if a pathological
+  // alternation between the two phases were ever to arise.
+  const int budget = 8 * rows_ + 64;
+  int steps = 0;
+
+  while (true) {
+    if (cur->id == target) break;
+    const bool leaf_only = steps++ > budget;
+
+    // Leaf-set phase: numeric greedy within the leaf span.
+    if (leaf_only || key_in_leaf_range(*cur, target)) {
+      PastryNode* leaf = best_leaf();
+      if (leaf == nullptr) break;  // cur is the numerically closest node
+      hop(leaf, kLeaf);
+      continue;
+    }
+
+    // Prefix phase: correct the next digit via the routing table.
+    const int row = shared_prefix_digits(cur->id, target);
+    CYCLOID_ASSERT(row < rows_);
+    const NodeHandle entry =
+        cur->routing_table[static_cast<std::size_t>(row)]
+                          [static_cast<std::size_t>(digit(target, row))];
+    if (entry != kNoNode) {
+      PastryNode* next = try_alive(entry);  // stale entry: departed node
+      if (next != nullptr) {
+        hop(next, kPrefix);
+        continue;
+      }
+    }
+
+    // Rare case: no usable routing entry. Forward to any known node that
+    // shares at least as long a prefix and is numerically closer.
+    {
+      PastryNode* best = nullptr;
+      std::uint64_t best_dist = circular_distance(cur->id, target, space_size_);
+      const auto consider = [&](NodeHandle h) {
+        if (h == kNoNode || h == cur->id) return;
+        PastryNode* cand = try_alive(h);
+        if (cand == nullptr) return;
+        if (shared_prefix_digits(cand->id, target) < row) return;
+        const std::uint64_t dist =
+            circular_distance(cand->id, target, space_size_);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = cand;
+        }
+      };
+      for (const NodeHandle h : cur->leaf_smaller) consider(h);
+      for (const NodeHandle h : cur->leaf_larger) consider(h);
+      for (const NodeHandle h : cur->neighborhood) consider(h);
+      for (const auto& table_row : cur->routing_table) {
+        for (const NodeHandle h : table_row) consider(h);
+      }
+      if (best != nullptr) {
+        hop(best, kPrefix);
+        continue;
+      }
+    }
+
+    // Fall back to pure numeric leaf descent.
+    PastryNode* leaf = best_leaf();
+    if (leaf == nullptr) break;
+    hop(leaf, kLeaf);
+  }
+
+  result.destination = cur->id;
+  result.success = true;
+  return result;
+}
+
+NodeHandle PastryNetwork::join(std::uint64_t seed) {
+  const std::uint64_t h = util::mix64(seed);
+  const std::uint64_t id = h % space_size_;
+  util::Rng coord_rng(h);
+  if (!insert(id, coord_rng.uniform01(), coord_rng.uniform01())) {
+    return kNoNode;
+  }
+  return id;
+}
+
+void PastryNetwork::leave(NodeHandle node) {
+  CYCLOID_EXPECTS(contains(node));
+  const std::uint64_t id = find(node)->id;
+  unlink(node);
+  if (!ring_.empty()) refresh_leafsets_around(id);
+}
+
+void PastryNetwork::fail_simultaneously(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<NodeHandle> victims;
+  for (const auto& [id, handle] : ring_) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
+  for (const NodeHandle handle : victims) unlink(handle);
+  // Graceful departures repair the leaf sets; routing tables stay frozen.
+  for (const auto& [handle, node] : nodes_) compute_leaf_sets(*node);
+}
+
+void PastryNetwork::fail_ungraceful(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  // Nobody is notified: leaf sets stay stale alongside the routing tables.
+  std::vector<NodeHandle> victims;
+  for (const auto& [id, handle] : ring_) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
+  for (const NodeHandle handle : victims) unlink(handle);
+}
+
+void PastryNetwork::stabilize_one(NodeHandle node) {
+  PastryNode* state = find(node);
+  if (state == nullptr) return;
+  compute_leaf_sets(*state);
+  compute_routing_table(*state);
+  compute_neighborhood(*state);
+}
+
+void PastryNetwork::stabilize_all() {
+  for (const auto& [handle, node] : nodes_) {
+    compute_leaf_sets(*node);
+    compute_routing_table(*node);
+    compute_neighborhood(*node);
+  }
+}
+
+void PastryNetwork::reset_query_load() {
+  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
+}
+
+std::vector<std::uint64_t> PastryNetwork::query_loads() const {
+  std::vector<std::uint64_t> loads;
+  loads.reserve(nodes_.size());
+  for (const auto& [id, handle] : ring_) {
+    loads.push_back(find(handle)->queries_received);
+  }
+  return loads;
+}
+
+}  // namespace cycloid::pastry

@@ -1,0 +1,133 @@
+// Pastry (Rowstron & Druschel 2001) — the hypercube-class, prefix-routing
+// DHT that Cycloid is derived from (paper Sec. 2.1 and Table 1).
+//
+// Identifiers are sequences of base-2^b digits. A node keeps:
+//   * a routing table with one row per digit: row r holds, for every digit
+//     value c, some node that shares the first r digits with it and has c
+//     at position r ("nodes that match each prefix of its own identifier
+//     but differ in the next digit");
+//   * a leaf set L of the |L|/2 numerically closest smaller and |L|/2
+//     larger nodes;
+//   * a neighborhood set M of the |M| geographically closest nodes (we
+//     model proximity with random coordinates on a unit torus).
+// Keys live at the numerically closest node. Routing corrects one digit per
+// hop left-to-right and finishes numerically within the leaf set — exactly
+// the scheme Cycloid's descending phase borrows.
+//
+// Maintenance model matches the other overlays: leaf sets are repaired
+// eagerly on join/leave, routing-table and neighborhood entries go stale
+// until stabilization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/network.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::pastry {
+
+struct PastryNode {
+  std::uint64_t id = 0;
+  double x = 0.0;  ///< proximity coordinates (unit torus)
+  double y = 0.0;
+  /// routing_table[row][column]; kNoNode where no participant matches (or
+  /// where the column equals the node's own digit).
+  std::vector<std::vector<dht::NodeHandle>> routing_table;
+  std::vector<dht::NodeHandle> leaf_smaller;  // nearest first
+  std::vector<dht::NodeHandle> leaf_larger;
+  std::vector<dht::NodeHandle> neighborhood;  // closest by proximity
+  std::uint64_t queries_received = 0;
+};
+
+class PastryNetwork final : public dht::DhtNetwork {
+ public:
+  /// Identifier space of 2^bits ids read as bits/bits_per_digit digits of
+  /// base 2^bits_per_digit. `bits` must be divisible by `bits_per_digit`.
+  PastryNetwork(int bits, int bits_per_digit = 2, int leaf_set_size = 8,
+                int neighborhood_size = 8);
+
+  static std::unique_ptr<PastryNetwork> build_random(int bits,
+                                                     std::size_t count,
+                                                     util::Rng& rng,
+                                                     int bits_per_digit = 2);
+
+  int bits() const noexcept { return bits_; }
+  std::uint64_t space_size() const noexcept { return space_size_; }
+  int digit_count() const noexcept { return rows_; }
+
+  /// Insert at an explicit identifier with explicit proximity coordinates.
+  bool insert(std::uint64_t id, double x, double y);
+
+  const PastryNode& node_state(dht::NodeHandle handle) const;
+
+  /// Value of digit `row` (0 = most significant) of an identifier.
+  int digit(std::uint64_t id, int row) const;
+  /// Number of leading digits shared by two identifiers.
+  int shared_prefix_digits(std::uint64_t a, std::uint64_t b) const;
+
+  enum Phase : std::size_t { kPrefix = 0, kLeaf = 1 };
+
+  // DhtNetwork interface -----------------------------------------------
+  std::string name() const override { return "Pastry"; }
+  std::size_t node_count() const override { return nodes_.size(); }
+  std::vector<dht::NodeHandle> node_handles() const override;
+  bool contains(dht::NodeHandle node) const override;
+  dht::NodeHandle random_node(util::Rng& rng) const override;
+  std::vector<std::string> phase_names() const override;
+  dht::NodeHandle owner_of(dht::KeyHash key) const override;
+  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key) override;
+  dht::NodeHandle join(std::uint64_t seed) override;
+  void leave(dht::NodeHandle node) override;
+  void fail_simultaneously(double p, util::Rng& rng) override;
+  void fail_ungraceful(double p, util::Rng& rng) override;
+  void stabilize_one(dht::NodeHandle node) override;
+  void stabilize_all() override;
+  void reset_query_load() override;
+  std::vector<std::uint64_t> query_loads() const override;
+  std::uint64_t maintenance_updates() const override {
+    return maintenance_updates_;
+  }
+  void reset_maintenance() override { maintenance_updates_ = 0; }
+
+ private:
+  PastryNode* find(dht::NodeHandle handle);
+  const PastryNode* find(dht::NodeHandle handle) const;
+
+  dht::NodeHandle successor_of(std::uint64_t id) const;   // at or after
+  dht::NodeHandle predecessor_of(std::uint64_t id) const; // strictly before
+
+  /// Numerically closest node to `id` (circular distance; clockwise wins
+  /// ties) — Pastry's key-assignment rule.
+  dht::NodeHandle closest_to(std::uint64_t id) const;
+
+  void compute_leaf_sets(PastryNode& node) const;
+  void compute_routing_table(PastryNode& node) const;
+  void compute_neighborhood(PastryNode& node) const;
+  void refresh_leafsets_around(std::uint64_t id);
+  void unlink(dht::NodeHandle handle);
+
+  /// True when `key` falls within the span covered by the node's leaf set.
+  bool key_in_leaf_range(const PastryNode& node, std::uint64_t key) const;
+
+  double proximity(const PastryNode& a, const PastryNode& b) const;
+
+  int bits_;
+  int bits_per_digit_;
+  int rows_;
+  std::uint64_t space_size_;
+  int leaf_half_;
+  int neighborhood_size_;
+
+  std::unordered_map<dht::NodeHandle, std::unique_ptr<PastryNode>> nodes_;
+  std::map<std::uint64_t, dht::NodeHandle> ring_;
+  std::vector<dht::NodeHandle> handle_vec_;
+  std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
+  mutable std::uint64_t maintenance_updates_ = 0;
+};
+
+}  // namespace cycloid::pastry

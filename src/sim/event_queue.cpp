@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace cycloid::sim {
+
+void EventQueue::schedule_at(SimTime when, Action action) {
+  CYCLOID_EXPECTS(when >= now_);
+  CYCLOID_EXPECTS(action != nullptr);
+  events_.push(Event{when, next_sequence_++, std::move(action)});
+}
+
+std::uint64_t EventQueue::run_until(SimTime horizon) {
+  std::uint64_t executed = 0;
+  while (!events_.empty() && events_.top().when <= horizon) {
+    // Copy out before pop: the action may schedule further events.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+std::uint64_t EventQueue::run_all() {
+  std::uint64_t executed = 0;
+  while (!events_.empty()) {
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace cycloid::sim

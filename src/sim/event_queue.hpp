@@ -1,0 +1,63 @@
+// Discrete-event simulation kernel.
+//
+// The churn experiment (paper Sec. 4.4, Fig. 12 / Table 5) interleaves three
+// event streams on a virtual clock: Poisson lookups at 1/s, Poisson node
+// joins/leaves at rate R, and per-node stabilization every 30 s. This kernel
+// provides the ordered event queue and virtual time; it is single-threaded
+// and deterministic given a seeded Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace cycloid::sim {
+
+using SimTime = double;  // seconds of virtual time
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute virtual time `when` (>= now()).
+  void schedule_at(SimTime when, Action action);
+
+  /// Schedule `action` `delay` seconds from now.
+  void schedule_in(SimTime delay, Action action) {
+    CYCLOID_EXPECTS(delay >= 0.0);
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Run events in timestamp order until the queue empties or `horizon`
+  /// virtual seconds pass. Returns the number of events executed.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Run everything currently (and transitively) scheduled.
+  std::uint64_t run_all();
+
+  SimTime now() const noexcept { return now_; }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t pending() const noexcept { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;  // tie-break: FIFO among equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace cycloid::sim

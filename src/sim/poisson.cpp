@@ -1,0 +1,50 @@
+#include "sim/poisson.hpp"
+
+#include <utility>
+
+namespace cycloid::sim {
+
+std::shared_ptr<PoissonProcess> PoissonProcess::start(EventQueue& queue,
+                                                      util::Rng& rng,
+                                                      double rate,
+                                                      Action action) {
+  CYCLOID_EXPECTS(rate > 0.0);
+  CYCLOID_EXPECTS(action != nullptr);
+  auto process = std::shared_ptr<PoissonProcess>(
+      new PoissonProcess(queue, rng, rate, std::move(action)));
+  process->arm();
+  return process;
+}
+
+void PoissonProcess::arm() {
+  auto self = shared_from_this();
+  queue_.schedule_in(rng_.exponential(rate_), [self] {
+    if (self->stopped_) return;
+    self->action_();
+    if (!self->stopped_) self->arm();
+  });
+}
+
+std::shared_ptr<PeriodicProcess> PeriodicProcess::start(EventQueue& queue,
+                                                        double period,
+                                                        double phase,
+                                                        Action action) {
+  CYCLOID_EXPECTS(period > 0.0);
+  CYCLOID_EXPECTS(phase >= 0.0);
+  CYCLOID_EXPECTS(action != nullptr);
+  auto process = std::shared_ptr<PeriodicProcess>(
+      new PeriodicProcess(queue, period, std::move(action)));
+  process->arm(phase);
+  return process;
+}
+
+void PeriodicProcess::arm(double delay) {
+  auto self = shared_from_this();
+  queue_.schedule_in(delay, [self] {
+    if (self->stopped_) return;
+    self->action_();
+    if (!self->stopped_) self->arm(self->period_);
+  });
+}
+
+}  // namespace cycloid::sim

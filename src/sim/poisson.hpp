@@ -1,0 +1,70 @@
+// Poisson event processes on top of the event queue.
+//
+// A PoissonProcess reschedules itself with exponentially distributed
+// inter-arrival times; the churn driver uses three of them (lookups, joins,
+// leaves), matching the workload model of paper Sec. 4.4.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::sim {
+
+class PoissonProcess : public std::enable_shared_from_this<PoissonProcess> {
+ public:
+  using Action = std::function<void()>;
+
+  /// Create and start a Poisson process firing `action` at `rate` events per
+  /// virtual second until stop() is called. Returns a handle that keeps the
+  /// process alive; dropping the handle does NOT stop it (the queue holds a
+  /// shared reference while an arrival is pending).
+  static std::shared_ptr<PoissonProcess> start(EventQueue& queue,
+                                               util::Rng& rng, double rate,
+                                               Action action);
+
+  void stop() noexcept { stopped_ = true; }
+  bool stopped() const noexcept { return stopped_; }
+
+ private:
+  PoissonProcess(EventQueue& queue, util::Rng& rng, double rate, Action action)
+      : queue_(queue), rng_(rng), rate_(rate), action_(std::move(action)) {}
+
+  void arm();
+
+  EventQueue& queue_;
+  util::Rng& rng_;
+  double rate_;
+  Action action_;
+  bool stopped_ = false;
+};
+
+/// Fixed-period repeating event with an initial phase offset — models the
+/// paper's stabilization routine ("once every 30 s ... at intervals uniformly
+/// distributed in the 30 s interval").
+class PeriodicProcess : public std::enable_shared_from_this<PeriodicProcess> {
+ public:
+  using Action = std::function<void()>;
+
+  static std::shared_ptr<PeriodicProcess> start(EventQueue& queue,
+                                                double period, double phase,
+                                                Action action);
+
+  void stop() noexcept { stopped_ = true; }
+  bool stopped() const noexcept { return stopped_; }
+
+ private:
+  PeriodicProcess(EventQueue& queue, double period, Action action)
+      : queue_(queue), period_(period), action_(std::move(action)) {}
+
+  void arm(double delay);
+
+  EventQueue& queue_;
+  double period_;
+  Action action_;
+  bool stopped_ = false;
+};
+
+}  // namespace cycloid::sim

@@ -1,0 +1,173 @@
+#include "unstructured/unstructured.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/contracts.hpp"
+
+namespace cycloid::unstructured {
+
+std::unique_ptr<UnstructuredNetwork> UnstructuredNetwork::build_random(
+    std::size_t count, int degree, util::Rng& rng) {
+  CYCLOID_EXPECTS(count >= 1);
+  CYCLOID_EXPECTS(degree >= 1);
+  auto net = std::make_unique<UnstructuredNetwork>();
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId node = net->add_node();
+    if (node == 0) continue;
+    // Link to up to `degree` distinct random existing nodes.
+    const int links = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(degree), node));
+    std::unordered_set<NodeId> chosen;
+    while (static_cast<int>(chosen.size()) < links) {
+      const NodeId peer = static_cast<NodeId>(rng.below(node));
+      if (chosen.insert(peer).second) net->add_edge(node, peer);
+    }
+  }
+  return net;
+}
+
+NodeId UnstructuredNetwork::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void UnstructuredNetwork::add_edge(NodeId a, NodeId b) {
+  CYCLOID_EXPECTS(a < adjacency_.size() && b < adjacency_.size());
+  CYCLOID_EXPECTS(a != b);
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+int UnstructuredNetwork::degree_of(NodeId node) const {
+  CYCLOID_EXPECTS(node < adjacency_.size());
+  return static_cast<int>(adjacency_[node].size());
+}
+
+bool UnstructuredNetwork::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    ++visited;
+    for (const NodeId next : adjacency_[node]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+void UnstructuredNetwork::place_object(ObjectId object, std::size_t copies,
+                                       util::Rng& rng) {
+  CYCLOID_EXPECTS(copies >= 1 && copies <= adjacency_.size());
+  auto& holders = replicas_[object];
+  while (holders.size() < copies) {
+    holders.insert(static_cast<NodeId>(rng.below(adjacency_.size())));
+  }
+}
+
+std::size_t UnstructuredNetwork::replica_count(ObjectId object) const {
+  const auto it = replicas_.find(object);
+  return it == replicas_.end() ? 0 : it->second.size();
+}
+
+bool UnstructuredNetwork::node_has(NodeId node, ObjectId object) const {
+  const auto it = replicas_.find(object);
+  return it != replicas_.end() && it->second.contains(node);
+}
+
+NodeId UnstructuredNetwork::random_node(util::Rng& rng) const {
+  CYCLOID_EXPECTS(!adjacency_.empty());
+  return static_cast<NodeId>(rng.below(adjacency_.size()));
+}
+
+SearchResult UnstructuredNetwork::flood(NodeId source, ObjectId object,
+                                        int ttl) const {
+  CYCLOID_EXPECTS(source < adjacency_.size());
+  SearchResult result;
+  std::vector<bool> seen(adjacency_.size(), false);
+  // (node, remaining ttl) — BFS so the first hit records the hop distance.
+  std::queue<std::pair<NodeId, int>> frontier;
+  std::vector<int> hop_of(adjacency_.size(), 0);
+  seen[source] = true;
+  result.nodes_contacted = 1;
+  if (node_has(source, object)) {
+    result.found = true;
+    result.first_hit_hops = 0;
+  }
+  frontier.emplace(source, ttl);
+
+  while (!frontier.empty()) {
+    const auto [node, remaining] = frontier.front();
+    frontier.pop();
+    if (remaining == 0) continue;
+    for (const NodeId next : adjacency_[node]) {
+      ++result.messages;  // every forwarding is a message, duplicates too
+      if (seen[next]) {
+        ++result.duplicate_deliveries;
+        continue;
+      }
+      seen[next] = true;
+      ++result.nodes_contacted;
+      hop_of[next] = hop_of[node] + 1;
+      if (!result.found && node_has(next, object)) {
+        result.found = true;
+        result.first_hit_hops = hop_of[next];
+        // The flood keeps going: satisfied queries cannot stop it.
+      }
+      frontier.emplace(next, remaining - 1);
+    }
+  }
+  return result;
+}
+
+SearchResult UnstructuredNetwork::random_walk(NodeId source, ObjectId object,
+                                              int walkers, int ttl,
+                                              util::Rng& rng) const {
+  CYCLOID_EXPECTS(source < adjacency_.size());
+  CYCLOID_EXPECTS(walkers >= 1);
+  SearchResult result;
+  std::vector<bool> seen(adjacency_.size(), false);
+  seen[source] = true;
+  result.nodes_contacted = 1;
+  if (node_has(source, object)) {
+    // The querying node answers locally; no walkers are launched.
+    result.found = true;
+    result.first_hit_hops = 0;
+    return result;
+  }
+
+  for (int w = 0; w < walkers; ++w) {
+    NodeId cur = source;
+    for (int step = 1; step <= ttl; ++step) {
+      const auto& links = adjacency_[cur];
+      if (links.empty()) break;
+      cur = links[static_cast<std::size_t>(rng.below(links.size()))];
+      ++result.messages;
+      if (seen[cur]) {
+        ++result.duplicate_deliveries;
+      } else {
+        seen[cur] = true;
+        ++result.nodes_contacted;
+      }
+      if (node_has(cur, object)) {
+        if (!result.found || step < result.first_hit_hops) {
+          result.found = true;
+          result.first_hit_hops = step;
+        }
+        break;  // this walker is satisfied; the others keep walking
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cycloid::unstructured

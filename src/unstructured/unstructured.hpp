@@ -1,0 +1,83 @@
+// Unstructured Gnutella-style overlay with flooding and k-walker random-walk
+// search (paper Sec. 2):
+//
+//   "Flooding-based search mechanism brings about heavy traffic in a
+//    large-scale system because of exponential increase in messages
+//    generated per query. Though random-walkers reduce flooding by some
+//    extent, they still create heavy overhead … Furthermore, flooding and
+//    random walkers cannot guarantee data location."
+//
+// This module lets the bench harness put numbers behind that motivation:
+// nodes form a random graph, objects are replicated on a fraction of the
+// nodes, and searches are flooded (TTL-bounded) or random-walked. Every
+// message is counted, including duplicate deliveries, because duplicate
+// suppression happens at the receiver ("both of the approaches cannot
+// prevent one node from receiving the same query multiple times").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cycloid::unstructured {
+
+using NodeId = std::uint32_t;
+using ObjectId = std::uint64_t;
+
+/// Outcome of one search.
+struct SearchResult {
+  bool found = false;
+  /// Total query messages sent (the overhead metric).
+  std::uint64_t messages = 0;
+  /// Messages delivered to nodes that had already seen the query.
+  std::uint64_t duplicate_deliveries = 0;
+  /// Distinct nodes that processed the query.
+  std::uint64_t nodes_contacted = 0;
+  /// Hops at which the first replica was found (-1 when not found).
+  int first_hit_hops = -1;
+};
+
+class UnstructuredNetwork {
+ public:
+  /// Random connected graph: each joining node links to `degree` distinct
+  /// random existing nodes (Gnutella-style bootstrap).
+  static std::unique_ptr<UnstructuredNetwork> build_random(std::size_t count,
+                                                           int degree,
+                                                           util::Rng& rng);
+
+  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  int degree_of(NodeId node) const;
+  bool connected() const;
+
+  /// Place `copies` replicas of an object on distinct random nodes.
+  void place_object(ObjectId object, std::size_t copies, util::Rng& rng);
+  std::size_t replica_count(ObjectId object) const;
+  bool node_has(NodeId node, ObjectId object) const;
+
+  NodeId random_node(util::Rng& rng) const;
+
+  /// TTL-bounded flood from `source`. The query is forwarded to every
+  /// neighbour; receivers that have seen it already absorb the (counted)
+  /// duplicate. The flood does not stop when the object is found.
+  SearchResult flood(NodeId source, ObjectId object, int ttl) const;
+
+  /// k independent random walkers, each taking up to `ttl` steps; a walker
+  /// that finds the object stops, the others keep walking (paper Sec. 2:
+  /// "a satisfied query cannot stop the other queries").
+  SearchResult random_walk(NodeId source, ObjectId object, int walkers,
+                           int ttl, util::Rng& rng) const;
+
+ private:
+  NodeId add_node();
+  void add_edge(NodeId a, NodeId b);
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::unordered_map<ObjectId, std::unordered_set<NodeId>> replicas_;
+};
+
+}  // namespace cycloid::unstructured

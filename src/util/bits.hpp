@@ -1,0 +1,73 @@
+// Bit-level and modular-arithmetic helpers shared by every overlay.
+//
+// All DHTs in this repository route on circular identifier spaces, so the
+// circular (wrap-around) distance functions here are the single source of
+// truth for "numerical closeness" — the notion the Cycloid paper uses for
+// key assignment and greedy routing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace cycloid::util {
+
+/// Index of the most significant set bit (0-based); precondition x != 0.
+constexpr int msb_index(std::uint64_t x) noexcept {
+  CYCLOID_EXPECTS(x != 0);
+  return 63 - std::countl_zero(x);
+}
+
+/// Most significant differing bit between a and b, or -1 when a == b.
+/// This is the "MSDB" of the Cycloid routing algorithm (paper Sec. 3.2).
+constexpr int msdb(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t diff = a ^ b;
+  return diff == 0 ? -1 : msb_index(diff);
+}
+
+/// Value of bit i of x.
+constexpr bool bit(std::uint64_t x, int i) noexcept {
+  CYCLOID_EXPECTS(i >= 0 && i < 64);
+  return ((x >> i) & 1ULL) != 0;
+}
+
+/// x with bit i flipped.
+constexpr std::uint64_t flip_bit(std::uint64_t x, int i) noexcept {
+  CYCLOID_EXPECTS(i >= 0 && i < 64);
+  return x ^ (1ULL << i);
+}
+
+/// Clockwise distance from `from` to `to` on a ring of size `modulus`
+/// (number of steps in increasing-identifier direction, wrapping at modulus).
+constexpr std::uint64_t clockwise_distance(std::uint64_t from, std::uint64_t to,
+                                           std::uint64_t modulus) noexcept {
+  CYCLOID_EXPECTS(modulus > 0);
+  CYCLOID_EXPECTS(from < modulus && to < modulus);
+  return to >= from ? to - from : modulus - from + to;
+}
+
+/// Shortest (either direction) distance between a and b on a ring.
+constexpr std::uint64_t circular_distance(std::uint64_t a, std::uint64_t b,
+                                          std::uint64_t modulus) noexcept {
+  const std::uint64_t cw = clockwise_distance(a, b, modulus);
+  const std::uint64_t ccw = modulus - cw;
+  return cw == 0 ? 0 : (cw < ccw ? cw : ccw);
+}
+
+/// True when, walking clockwise from `a`, identifier `x` is reached strictly
+/// before `b` is ("x in (a, b]" on the ring, the Chord membership test).
+constexpr bool in_half_open_cw(std::uint64_t x, std::uint64_t a,
+                               std::uint64_t b, std::uint64_t modulus) noexcept {
+  const std::uint64_t dist_x = clockwise_distance(a, x, modulus);
+  const std::uint64_t dist_b = clockwise_distance(a, b, modulus);
+  return dist_x != 0 && dist_x <= dist_b;
+}
+
+/// Smallest p such that 2^p >= x (x >= 1).
+constexpr int ceil_log2(std::uint64_t x) noexcept {
+  CYCLOID_EXPECTS(x >= 1);
+  return x == 1 ? 0 : msb_index(x - 1) + 1;
+}
+
+}  // namespace cycloid::util

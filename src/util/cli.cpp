@@ -1,0 +1,112 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace cycloid::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  CYCLOID_EXPECTS(!options_.contains(name));
+  options_.emplace(name, Option{default_value, help, false});
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  CYCLOID_EXPECTS(!options_.contains(name));
+  options_.emplace(name, Option{"", help, true});
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected argument: " + arg;
+      return false;
+    }
+    arg = arg.substr(2);
+
+    std::string value;
+    bool has_inline_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
+
+    const auto it = options_.find(arg);
+    if (it == options_.end()) {
+      error_ = "unknown option: --" + arg;
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (has_inline_value) {
+        error_ = "flag --" + arg + " takes no value";
+        return false;
+      }
+      values_[arg] = "1";
+      continue;
+    }
+    if (!has_inline_value) {
+      if (i + 1 >= argc) {
+        error_ = "option --" + arg + " needs a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[arg] = value;
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto option = options_.find(name);
+  CYCLOID_EXPECTS(option != options_.end());
+  const auto value = values_.find(name);
+  return value == values_.end() ? option->second.default_value : value->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const auto option = options_.find(name);
+  CYCLOID_EXPECTS(option != options_.end() && option->second.is_flag);
+  return values_.contains(name);
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const std::string& name : order_) {
+    const Option& option = options_.at(name);
+    out << "  --" << name;
+    if (!option.is_flag) out << " <value>";
+    out << "\n      " << option.help;
+    if (!option.is_flag && !option.default_value.empty()) {
+      out << " (default: " << option.default_value << ")";
+    }
+    out << "\n";
+  }
+  out << "  --help\n      show this text\n";
+  return out.str();
+}
+
+}  // namespace cycloid::util

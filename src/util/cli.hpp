@@ -1,0 +1,57 @@
+// Tiny command-line argument parser for the example/driver binaries.
+//
+// Supports `--name value` and `--name=value` options with defaults, `--flag`
+// booleans, and generated --help text. Deliberately minimal: no subcommands,
+// no positional arguments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cycloid::util {
+
+class ArgParser {
+ public:
+  /// `program` and `description` appear in the --help text.
+  ArgParser(std::string program, std::string description);
+
+  /// Declare an option with a default value (shown in --help).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Declare a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false (and sets error()) on unknown options or
+  /// missing values; returns false with empty error() when --help was
+  /// requested (help_requested() distinguishes the two).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  bool help_requested() const noexcept { return help_requested_; }
+  const std::string& error() const noexcept { return error_; }
+  std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;  // declaration order, for help text
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace cycloid::util

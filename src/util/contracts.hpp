@@ -1,0 +1,32 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations abort with a diagnostic: overlay
+// simulations silently producing wrong hop counts are worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cycloid::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace cycloid::util
+
+#define CYCLOID_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::cycloid::util::contract_failure("Precondition", #cond,       \
+                                              __FILE__, __LINE__))
+
+#define CYCLOID_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::cycloid::util::contract_failure("Postcondition", #cond,      \
+                                              __FILE__, __LINE__))
+
+#define CYCLOID_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::cycloid::util::contract_failure("Invariant", #cond,          \
+                                              __FILE__, __LINE__))

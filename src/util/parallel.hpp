@@ -1,0 +1,26 @@
+// Minimal fork-join parallelism for the experiment drivers.
+//
+// Every cell of a paper experiment (one overlay at one parameter value) is
+// an independent simulation with its own network and its own seeded RNG, so
+// the drivers can fan cells out across threads without any shared state;
+// results are written into pre-sized slots, keeping the output bit-identical
+// to the sequential run regardless of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cycloid::util {
+
+/// Number of worker threads to use by default (hardware concurrency,
+/// at least 1).
+int default_thread_count() noexcept;
+
+/// Run fn(0) .. fn(count-1), distributing indices across `threads` workers
+/// (threads <= 1 runs inline). Each index is executed exactly once. If any
+/// invocation throws, the first exception is rethrown on the caller's
+/// thread after all workers finish.
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace cycloid::util

@@ -1,0 +1,13 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace cycloid::util {
+
+double Rng::exponential(double rate) noexcept {
+  CYCLOID_EXPECTS(rate > 0.0);
+  // Inverse-CDF sampling; 1 - uniform01() is in (0, 1] so the log is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+}  // namespace cycloid::util

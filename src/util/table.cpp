@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace cycloid::util {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CYCLOID_EXPECTS(!headers_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& value) {
+  CYCLOID_EXPECTS(!rows_.empty());
+  CYCLOID_EXPECTS(rows_.back().size() < headers_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string(value)); }
+
+Table& Table::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+Table& Table::add_mean_p1_p99(double mean, double p1, double p99,
+                              int precision) {
+  return add(format_double(mean, precision) + " (" +
+             format_double(p1, precision) + ", " +
+             format_double(p99, precision) + ")");
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t column) const {
+  CYCLOID_EXPECTS(row < rows_.size());
+  CYCLOID_EXPECTS(column < rows_[row].size());
+  return rows_[row][column];
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& value = c < cells.size() ? cells[c] : std::string();
+      out << std::left << std::setw(static_cast<int>(widths[c])) << value;
+      if (c + 1 < headers_.size()) out << "  ";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::ostream& operator<<(std::ostream& out, const Table& table) {
+  table.print(out);
+  return out;
+}
+
+void print_banner(std::ostream& out, const std::string& title) {
+  out << "\n== " << title << " ==\n";
+}
+
+}  // namespace cycloid::util

@@ -1,0 +1,56 @@
+// Fixed-width text table printer.
+//
+// Every bench binary in bench/ regenerates one table or figure from the
+// paper as rows of text; this class keeps the output format uniform so the
+// series can be diffed against EXPERIMENTS.md or plotted directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cycloid::util {
+
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& value);
+  Table& add(const char* value);
+  Table& add(double value, int precision = 2);
+  Table& add(std::uint64_t value);
+  Table& add(std::int64_t value);
+  Table& add(int value);
+
+  /// Convenience for the paper's "mean (p1, p99)" cells.
+  Table& add_mean_p1_p99(double mean, double p1, double p99,
+                         int precision = 2);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Value of a cell as written (row/column are 0-based, excluding headers).
+  const std::string& cell(std::size_t row, std::size_t column) const;
+
+  /// Render with aligned columns, a header rule, and a trailing newline.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& out, const Table& table);
+
+/// Print a section banner ("== Fig. 5: ... ==") used by bench binaries.
+void print_banner(std::ostream& out, const std::string& title);
+
+/// Format a double with fixed precision (helper shared with Table).
+std::string format_double(double value, int precision);
+
+}  // namespace cycloid::util

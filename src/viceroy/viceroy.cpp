@@ -1,0 +1,357 @@
+#include "viceroy/viceroy.hpp"
+
+#include <cmath>
+
+#include "hash/keys.hpp"
+#include "util/bits.hpp"
+
+namespace cycloid::viceroy {
+
+namespace {
+
+using dht::kNoNode;
+using dht::LookupResult;
+using dht::NodeHandle;
+
+/// Clockwise distance from a to b on the unit ring.
+double cw(double a, double b) noexcept {
+  const double d = b - a;
+  return d >= 0.0 ? d : d + 1.0;
+}
+
+}  // namespace
+
+std::unique_ptr<ViceroyNetwork> ViceroyNetwork::build_random(std::size_t count,
+                                                             util::Rng& rng) {
+  auto net = std::make_unique<ViceroyNetwork>();
+  CYCLOID_EXPECTS(count >= 1);
+  const int max_level = std::max(1, util::ceil_log2(count));
+  while (net->node_count() < count) {
+    const double id = rng.uniform01();
+    const int level = 1 + static_cast<int>(rng.below(
+                              static_cast<std::uint64_t>(max_level)));
+    net->insert(id, level);
+  }
+  return net;
+}
+
+bool ViceroyNetwork::insert(double id, int level) {
+  CYCLOID_EXPECTS(id >= 0.0 && id < 1.0);
+  CYCLOID_EXPECTS(level >= 1);
+  if (ring_.contains(id)) return false;
+
+  const NodeHandle handle = next_serial_++;
+  auto node = std::make_unique<ViceroyNode>();
+  node->id = id;
+  node->level = level;
+  nodes_.emplace(handle, std::move(node));
+  ring_.emplace(id, handle);
+  levels_[level].emplace(id, handle);
+  handle_pos_.emplace(handle, handle_vec_.size());
+  handle_vec_.push_back(handle);
+  if (count_maintenance_) {
+    // The newcomer establishes its 7 links and every node whose links now
+    // resolve to it must be told (Viceroy updates incoming connections).
+    maintenance_updates_ += 7 + count_referencers(handle);
+  }
+  return true;
+}
+
+std::uint64_t ViceroyNetwork::count_referencers(NodeHandle handle) const {
+  std::uint64_t referencers = 0;
+  for (const auto& [id, other] : ring_) {
+    if (other == handle) continue;
+    const ViceroyLinks links = links_of(other);
+    if (links.ring_pred == handle || links.ring_succ == handle ||
+        links.level_prev == handle || links.level_next == handle ||
+        links.down_left == handle || links.down_right == handle ||
+        links.up == handle) {
+      ++referencers;
+    }
+  }
+  return referencers;
+}
+
+void ViceroyNetwork::unlink(NodeHandle handle) {
+  const auto it = nodes_.find(handle);
+  CYCLOID_EXPECTS(it != nodes_.end());
+  const ViceroyNode& node = *it->second;
+  ring_.erase(node.id);
+  auto level_it = levels_.find(node.level);
+  CYCLOID_ASSERT(level_it != levels_.end());
+  level_it->second.erase(node.id);
+  if (level_it->second.empty()) levels_.erase(level_it);
+
+  const std::size_t pos = handle_pos_.at(handle);
+  const NodeHandle moved = handle_vec_.back();
+  handle_vec_[pos] = moved;
+  handle_pos_[moved] = pos;
+  handle_vec_.pop_back();
+  handle_pos_.erase(handle);
+  nodes_.erase(it);
+}
+
+ViceroyNode* ViceroyNetwork::find(NodeHandle handle) {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const ViceroyNode* ViceroyNetwork::find(NodeHandle handle) const {
+  const auto it = nodes_.find(handle);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const ViceroyNode& ViceroyNetwork::node_state(NodeHandle handle) const {
+  const ViceroyNode* node = find(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  return *node;
+}
+
+int ViceroyNetwork::max_level() const noexcept {
+  return levels_.empty() ? 0 : levels_.rbegin()->first;
+}
+
+std::vector<NodeHandle> ViceroyNetwork::node_handles() const {
+  std::vector<NodeHandle> handles;
+  handles.reserve(ring_.size());
+  for (const auto& [id, handle] : ring_) handles.push_back(handle);
+  return handles;
+}
+
+bool ViceroyNetwork::contains(NodeHandle node) const {
+  return nodes_.contains(node);
+}
+
+NodeHandle ViceroyNetwork::random_node(util::Rng& rng) const {
+  CYCLOID_EXPECTS(!handle_vec_.empty());
+  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
+}
+
+std::vector<std::string> ViceroyNetwork::phase_names() const {
+  return {"ascend", "descend", "ring"};
+}
+
+NodeHandle ViceroyNetwork::successor_at(double id) const {
+  CYCLOID_EXPECTS(!ring_.empty());
+  const auto it = ring_.lower_bound(id);
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+NodeHandle ViceroyNetwork::predecessor_of(double id) const {
+  CYCLOID_EXPECTS(!ring_.empty());
+  const auto it = ring_.lower_bound(id);
+  return it == ring_.begin() ? ring_.rbegin()->second : std::prev(it)->second;
+}
+
+NodeHandle ViceroyNetwork::level_successor(int level, double id) const {
+  const auto level_it = levels_.find(level);
+  if (level_it == levels_.end() || level_it->second.empty()) return kNoNode;
+  const auto it = level_it->second.lower_bound(id);
+  return it == level_it->second.end() ? level_it->second.begin()->second
+                                      : it->second;
+}
+
+ViceroyLinks ViceroyNetwork::links_of(NodeHandle handle) const {
+  const ViceroyNode* node = find(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  ViceroyLinks links;
+  if (ring_.size() > 1) {
+    links.ring_pred = predecessor_of(node->id);
+    links.ring_succ =
+        successor_at(std::nextafter(node->id, 2.0) >= 1.0
+                         ? 0.0
+                         : std::nextafter(node->id, 2.0));
+  }
+
+  // Level-ring neighbours among same-level nodes (wrapping), self excluded.
+  {
+    const auto level_it = levels_.find(node->level);
+    CYCLOID_ASSERT(level_it != levels_.end());
+    const auto& peers = level_it->second;
+    if (peers.size() > 1) {
+      auto self = peers.find(node->id);
+      CYCLOID_ASSERT(self != peers.end());
+      auto next = std::next(self);
+      if (next == peers.end()) next = peers.begin();
+      links.level_next = next->second;
+      auto prev = self == peers.begin() ? std::prev(peers.end())
+                                        : std::prev(self);
+      links.level_prev = prev->second;
+    }
+  }
+
+  links.down_left = level_successor(node->level + 1, node->id);
+  const double right_anchor =
+      node->id + std::ldexp(1.0, -node->level) >= 1.0
+          ? node->id + std::ldexp(1.0, -node->level) - 1.0
+          : node->id + std::ldexp(1.0, -node->level);
+  links.down_right = level_successor(node->level + 1, right_anchor);
+
+  // Up link: the nearest node of the closest lower populated level.
+  for (int level = node->level - 1; level >= 1; --level) {
+    const NodeHandle up = level_successor(level, node->id);
+    if (up != kNoNode) {
+      links.up = up;
+      break;
+    }
+  }
+  return links;
+}
+
+NodeHandle ViceroyNetwork::owner_of(dht::KeyHash key) const {
+  return successor_at(hash::reduce_unit(key));
+}
+
+LookupResult ViceroyNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+  LookupResult result;
+  ViceroyNode* cur = find(from);
+  CYCLOID_EXPECTS(cur != nullptr);
+  const double target = hash::reduce_unit(key);
+
+  const auto hop = [&](NodeHandle next, Phase phase) {
+    ViceroyNode* node = find(next);
+    CYCLOID_ASSERT(node != nullptr);  // links are resolved live
+    result.count_hop(phase);
+    ++node->queries_received;
+    cur = node;
+  };
+
+  const auto self_handle = [&]() -> NodeHandle {
+    return ring_.at(cur->id);
+  };
+
+  // Phase 1 — ascend to a level-1 node via up links.
+  while (cur->level > 1) {
+    const ViceroyLinks links = links_of(self_handle());
+    if (links.up == kNoNode) break;
+    hop(links.up, kAscend);
+  }
+
+  // Phase 2 — descend the butterfly: at level l, take the down-left link
+  // when the target is within 2^-l clockwise, else down-right; stop at a
+  // node with no down links, or when the down hop would jump past the
+  // target (descending further can only overshoot — the traverse phase
+  // finishes the approach).
+  while (true) {
+    const ViceroyLinks links = links_of(self_handle());
+    const double dist = cw(cur->id, target);
+    const NodeHandle down = dist < std::ldexp(1.0, -cur->level)
+                                ? links.down_left
+                                : links.down_right;
+    if (down == kNoNode) break;
+    if (cw(cur->id, find(down)->id) > dist) break;
+    hop(down, kDescend);
+  }
+
+  // Phase 3 — traverse via level-ring / ring pointers toward the target's
+  // successor, approaching from whichever side is nearer without stepping
+  // over the target.
+  while (true) {
+    const NodeHandle self = self_handle();
+    const NodeHandle pred = ring_.size() > 1 ? predecessor_of(cur->id) : self;
+    if (pred == self) break;  // singleton ring: cur owns everything
+    const double pred_id = find(pred)->id;
+    // Owner test: target in (pred, cur].
+    const double span = cw(pred_id, cur->id);
+    const double off = cw(pred_id, target);
+    if (off > 0.0 && off <= span) break;
+    if (target == cur->id) break;
+
+    const ViceroyLinks links = links_of(self);
+    const NodeHandle candidates[] = {links.ring_pred,  links.ring_succ,
+                                     links.level_prev, links.level_next,
+                                     links.down_left,  links.down_right,
+                                     links.up};
+
+    const double d_cw = cw(cur->id, target);   // travelling clockwise
+    const double d_ccw = cw(target, cur->id);  // sitting past the target
+
+    NodeHandle choice = kNoNode;
+    if (d_ccw <= d_cw) {
+      // Past the target: walk back, staying at-or-after the target.
+      double best = d_ccw;
+      for (const NodeHandle h : candidates) {
+        if (h == kNoNode || h == self) continue;
+        const double gap = cw(target, find(h)->id);
+        if (gap < best) {
+          best = gap;
+          choice = h;
+        }
+      }
+      if (choice == kNoNode) choice = links.ring_pred;
+      hop(choice, kRing);
+    } else {
+      // Before the target: jump as far clockwise as possible without
+      // passing it; if every link passes it, the ring successor is the
+      // target's owner.
+      double best = 0.0;
+      for (const NodeHandle h : candidates) {
+        if (h == kNoNode || h == self) continue;
+        const double gap = cw(cur->id, find(h)->id);
+        if (gap <= d_cw && gap > best) {
+          best = gap;
+          choice = h;
+        }
+      }
+      if (choice == kNoNode) choice = links.ring_succ;
+      hop(choice, kRing);
+    }
+  }
+
+  result.destination = ring_.at(cur->id);
+  result.success = true;
+  return result;
+}
+
+NodeHandle ViceroyNetwork::join(std::uint64_t seed) {
+  const std::uint64_t h = util::mix64(seed);
+  const double id = hash::reduce_unit(h);
+  const int estimate_levels =
+      std::max(1, util::ceil_log2(static_cast<std::uint64_t>(node_count()) + 1));
+  const int level =
+      1 + static_cast<int>(util::mix64(h ^ 0x1ee7c0deULL) %
+                           static_cast<std::uint64_t>(estimate_levels));
+  if (!insert(id, level)) return kNoNode;
+  return ring_.at(id);
+}
+
+void ViceroyNetwork::leave(NodeHandle node) {
+  CYCLOID_EXPECTS(contains(node));
+  // Departing Viceroy nodes update all incoming and outgoing connections;
+  // links are resolved from the live membership, so removal is complete.
+  if (count_maintenance_) {
+    maintenance_updates_ += 7 + count_referencers(node);
+  }
+  unlink(node);
+}
+
+void ViceroyNetwork::fail_simultaneously(double p, util::Rng& rng) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<NodeHandle> victims;
+  for (const auto& [id, handle] : ring_) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
+  for (const NodeHandle handle : victims) unlink(handle);
+}
+
+void ViceroyNetwork::stabilize_one(NodeHandle) {
+  // Links are maintained eagerly on every join/leave; nothing to refresh.
+}
+
+void ViceroyNetwork::stabilize_all() {}
+
+void ViceroyNetwork::reset_query_load() {
+  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
+}
+
+std::vector<std::uint64_t> ViceroyNetwork::query_loads() const {
+  std::vector<std::uint64_t> loads;
+  loads.reserve(nodes_.size());
+  for (const auto& [id, handle] : ring_) {
+    loads.push_back(find(handle)->queries_received);
+  }
+  return loads;
+}
+
+}  // namespace cycloid::viceroy

@@ -1,0 +1,176 @@
+// Tests for the CAN overlay — zone splits/merges, toroidal adjacency, and
+// greedy coordinate routing (paper Sec. 2.3).
+#include "can/can.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace cycloid::can {
+namespace {
+
+using dht::kNoNode;
+using dht::NodeHandle;
+
+TEST(CanBuild, FirstNodeOwnsEverything) {
+  CanNetwork net(2);
+  const NodeHandle h = net.join_at(Point{0.3, 0.7});
+  EXPECT_EQ(net.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(net.volume_of(h), 1.0);
+  EXPECT_TRUE(net.check_invariants());
+}
+
+TEST(CanBuild, SplitHalvesTheZone) {
+  CanNetwork net(2);
+  const NodeHandle a = net.join_at(Point{0.25, 0.5});
+  const NodeHandle b = net.join_at(Point{0.75, 0.5});
+  EXPECT_DOUBLE_EQ(net.volume_of(a), 0.5);
+  EXPECT_DOUBLE_EQ(net.volume_of(b), 0.5);
+  // The two halves are mutual neighbours.
+  EXPECT_TRUE(net.node_state(a).neighbors.contains(b));
+  EXPECT_TRUE(net.node_state(b).neighbors.contains(a));
+  EXPECT_TRUE(net.check_invariants());
+}
+
+TEST(CanBuild, VolumesAlwaysSumToOne) {
+  util::Rng rng(1);
+  auto net = CanNetwork::build_random(128, rng);
+  double total = 0.0;
+  for (const NodeHandle h : net->node_handles()) total += net->volume_of(h);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_TRUE(net->check_invariants());
+}
+
+TEST(CanBuild, ThreeDimensionalNetworksWork) {
+  util::Rng rng(2);
+  auto net = CanNetwork::build_random(64, rng, /*dims=*/3);
+  EXPECT_TRUE(net->check_invariants());
+  for (int i = 0; i < 200; ++i) {
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+  }
+}
+
+TEST(CanLookup, AlwaysFindsOwner) {
+  util::Rng rng(3);
+  for (const std::size_t n : {1u, 2u, 17u, 130u, 500u}) {
+    auto net = CanNetwork::build_random(n, rng);
+    for (int i = 0; i < 300; ++i) {
+      const dht::KeyHash key = rng();
+      const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+      EXPECT_TRUE(result.success);
+      EXPECT_EQ(result.destination, net->owner_of(key));
+      EXPECT_EQ(result.timeouts, 0);  // neighbour state never goes stale
+    }
+  }
+}
+
+TEST(CanLookup, PathScalesAsSquareRoot) {
+  util::Rng rng(4);
+  const auto mean_path = [&](std::size_t n) {
+    auto net = CanNetwork::build_random(n, rng);
+    double total = 0;
+    const int lookups = 1500;
+    for (int i = 0; i < lookups; ++i) {
+      total += net->lookup(net->random_node(rng), rng()).hops;
+    }
+    return total / lookups;
+  };
+  const double at_100 = mean_path(100);
+  const double at_900 = mean_path(900);
+  // O(sqrt(n)) growth: 9x nodes should roughly 3x the path, and certainly
+  // grow far faster than log (which would add ~3 hops).
+  EXPECT_GT(at_900, 1.8 * at_100);
+  EXPECT_LT(at_900, 6.0 * at_100);
+}
+
+TEST(CanMembership, LeaveHandsZonesOver) {
+  util::Rng rng(5);
+  auto net = CanNetwork::build_random(60, rng);
+  for (int i = 0; i < 40; ++i) {
+    const NodeHandle victim = net->random_node(rng);
+    net->leave(victim);
+    EXPECT_FALSE(net->contains(victim));
+    ASSERT_TRUE(net->check_invariants()) << "after leave " << i;
+  }
+  EXPECT_EQ(net->node_count(), 20u);
+}
+
+TEST(CanMembership, ChurnPreservesInvariantsAndCorrectness) {
+  util::Rng rng(6);
+  auto net = CanNetwork::build_random(80, rng);
+  for (int round = 0; round < 150; ++round) {
+    if (rng.chance(0.5) && net->node_count() > 5) {
+      net->leave(net->random_node(rng));
+    } else {
+      net->join(rng());
+    }
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+  }
+  EXPECT_TRUE(net->check_invariants());
+}
+
+TEST(CanMembership, CoalesceMergesBuddies) {
+  // Split once, then remove the newcomer: the survivor's two half-zones
+  // must merge back into the full space.
+  CanNetwork net(2);
+  const NodeHandle a = net.join_at(Point{0.25, 0.5});
+  const NodeHandle b = net.join_at(Point{0.75, 0.5});
+  net.leave(b);
+  EXPECT_DOUBLE_EQ(net.volume_of(a), 1.0);
+  EXPECT_EQ(net.node_state(a).zones.size(), 1u);
+}
+
+TEST(CanMembership, MassDepartureKeepsServiceCorrect) {
+  util::Rng rng(7);
+  auto net = CanNetwork::build_random(300, rng);
+  net->fail_simultaneously(0.5, rng);
+  EXPECT_TRUE(net->check_invariants());
+  for (int i = 0; i < 300; ++i) {
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+  }
+}
+
+TEST(CanGeometry, PointFromHashCoversSpace) {
+  CanNetwork net(2);
+  util::Rng rng(8);
+  double min_x = 1.0, max_x = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const Point p = net.point_from_hash(rng());
+    ASSERT_GE(p[0], 0.0);
+    ASSERT_LT(p[0], 1.0);
+    ASSERT_GE(p[1], 0.0);
+    ASSERT_LT(p[1], 1.0);
+    min_x = std::min(min_x, p[0]);
+    max_x = std::max(max_x, p[0]);
+  }
+  EXPECT_LT(min_x, 0.05);
+  EXPECT_GT(max_x, 0.95);
+}
+
+TEST(CanQueryLoad, CountersSumToHops) {
+  util::Rng rng(9);
+  auto net = CanNetwork::build_random(150, rng);
+  net->reset_query_load();
+  std::uint64_t hops = 0;
+  for (int i = 0; i < 400; ++i) {
+    hops += static_cast<std::uint64_t>(
+        net->lookup(net->random_node(rng), rng()).hops);
+  }
+  std::uint64_t received = 0;
+  for (const std::uint64_t l : net->query_loads()) received += l;
+  EXPECT_EQ(received, hops);
+}
+
+}  // namespace
+}  // namespace cycloid::can

@@ -1,0 +1,204 @@
+// Self-organization tests (paper Sec. 3.3): joins, graceful leaves, massive
+// simultaneous departures, and stabilization.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/network.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::ccc {
+namespace {
+
+using dht::kNoNode;
+using dht::NodeHandle;
+
+/// Check that every node's leaf sets equal a freshly computed copy — i.e.
+/// the eager join/leave repair kept them exact.
+void expect_leafsets_exact(CycloidNetwork& net) {
+  for (const NodeHandle h : net.node_handles()) {
+    const CycloidNode before = net.node_state(h);
+    net.stabilize_one(h);  // recomputes from the registry
+    const CycloidNode& after = net.node_state(h);
+    EXPECT_EQ(before.inside_pred, after.inside_pred);
+    EXPECT_EQ(before.inside_succ, after.inside_succ);
+    EXPECT_EQ(before.outside_pred, after.outside_pred);
+    EXPECT_EQ(before.outside_succ, after.outside_succ);
+  }
+}
+
+TEST(Join, GrowsNetworkAndReturnsHandle) {
+  CycloidNetwork net(5);
+  util::Rng rng(1);
+  std::set<NodeHandle> handles;
+  for (int i = 0; i < 50; ++i) {
+    const NodeHandle h = net.join(rng());
+    if (h == kNoNode) continue;  // identifier collision
+    EXPECT_TRUE(net.contains(h));
+    EXPECT_TRUE(handles.insert(h).second);
+  }
+  EXPECT_EQ(net.node_count(), handles.size());
+}
+
+TEST(Join, CollisionReturnsNoNode) {
+  CycloidNetwork net(3);
+  const NodeHandle h = net.join(7);
+  ASSERT_NE(h, kNoNode);
+  EXPECT_EQ(net.join(7), kNoNode);  // same seed -> same identifier
+  EXPECT_EQ(net.node_count(), 1u);
+}
+
+TEST(Join, LeafSetsStayExactWithoutStabilization) {
+  CycloidNetwork net(5);
+  util::Rng rng(2);
+  for (int i = 0; i < 80; ++i) net.join(rng());
+  expect_leafsets_exact(net);
+}
+
+TEST(Join, LookupsCorrectImmediatelyAfterJoins) {
+  CycloidNetwork net(6);
+  util::Rng rng(3);
+  for (int i = 0; i < 60; ++i) net.join(rng());
+  for (int i = 0; i < 300; ++i) {
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net.lookup(net.random_node(rng), key);
+    EXPECT_EQ(result.destination, net.owner_of(key));
+  }
+}
+
+TEST(Leave, ShrinksNetworkAndRepairsLeafSets) {
+  util::Rng rng(4);
+  auto net = CycloidNetwork::build_random(5, 60, rng);
+  for (int i = 0; i < 30; ++i) {
+    const NodeHandle victim = net->random_node(rng);
+    net->leave(victim);
+    EXPECT_FALSE(net->contains(victim));
+  }
+  EXPECT_EQ(net->node_count(), 30u);
+  expect_leafsets_exact(*net);
+}
+
+TEST(Leave, LookupsStillCorrectWithStaleRoutingTables) {
+  util::Rng rng(5);
+  auto net = CycloidNetwork::build_random(6, 150, rng);
+  for (int i = 0; i < 75; ++i) net->leave(net->random_node(rng));
+  // Routing tables may reference departed nodes (timeouts are expected);
+  // correctness must hold via the repaired leaf sets.
+  int total_timeouts = 0;
+  for (int i = 0; i < 400; ++i) {
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+    total_timeouts += result.timeouts;
+  }
+  EXPECT_GT(total_timeouts, 0);  // stale entries must actually be exercised
+}
+
+TEST(Leave, StabilizationRemovesTimeouts) {
+  util::Rng rng(6);
+  auto net = CycloidNetwork::build_random(6, 150, rng);
+  for (int i = 0; i < 75; ++i) net->leave(net->random_node(rng));
+  net->stabilize_all();
+  for (int i = 0; i < 300; ++i) {
+    const dht::LookupResult result = net->lookup(net->random_node(rng), rng());
+    EXPECT_EQ(result.timeouts, 0);
+  }
+}
+
+TEST(Leave, LastNodesDegenerate) {
+  CycloidNetwork net(4);
+  const NodeHandle a = net.join(11);
+  const NodeHandle b = net.join(22);
+  ASSERT_NE(a, kNoNode);
+  ASSERT_NE(b, kNoNode);
+  net.leave(a);
+  EXPECT_EQ(net.node_count(), 1u);
+  // The survivor owns every key and lookups terminate locally.
+  util::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const dht::LookupResult result = net.lookup(b, rng());
+    EXPECT_EQ(result.destination, b);
+    EXPECT_EQ(result.hops, 0);
+  }
+}
+
+TEST(FailSimultaneously, SurvivorsFormCorrectNetwork) {
+  auto net = CycloidNetwork::build_complete(6);
+  util::Rng rng(8);
+  const std::size_t before = net->node_count();
+  net->fail_simultaneously(0.4, rng);
+  EXPECT_LT(net->node_count(), before);
+  EXPECT_GT(net->node_count(), 0u);
+  expect_leafsets_exact(*net);
+  for (int i = 0; i < 400; ++i) {
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+  }
+}
+
+TEST(FailSimultaneously, ZeroProbabilityIsNoOp) {
+  auto net = CycloidNetwork::build_complete(4);
+  util::Rng rng(9);
+  const std::size_t before = net->node_count();
+  net->fail_simultaneously(0.0, rng);
+  EXPECT_EQ(net->node_count(), before);
+}
+
+TEST(FailSimultaneously, FullProbabilityKeepsOneSurvivor) {
+  auto net = CycloidNetwork::build_complete(3);
+  util::Rng rng(10);
+  net->fail_simultaneously(1.0, rng);
+  EXPECT_EQ(net->node_count(), 1u);
+}
+
+TEST(FailSimultaneously, TimeoutsGrowWithDepartureProbability) {
+  util::Rng rng(11);
+  double prev_mean = -1.0;
+  for (const double p : {0.1, 0.5}) {
+    auto net = CycloidNetwork::build_complete(6);
+    util::Rng fail_rng(12);
+    net->fail_simultaneously(p, fail_rng);
+    double timeouts = 0;
+    const int lookups = 800;
+    for (int i = 0; i < lookups; ++i) {
+      timeouts += net->lookup(net->random_node(rng), rng()).timeouts;
+    }
+    const double mean = timeouts / lookups;
+    EXPECT_GT(mean, prev_mean);
+    prev_mean = mean;
+  }
+  EXPECT_GT(prev_mean, 0.5);  // at p=0.5 stale entries are hit constantly
+}
+
+TEST(StabilizeOne, DepartedNodeIsANoOp) {
+  util::Rng rng(13);
+  auto net = CycloidNetwork::build_random(4, 10, rng);
+  const NodeHandle victim = net->random_node(rng);
+  net->leave(victim);
+  net->stabilize_one(victim);  // must not crash or resurrect
+  EXPECT_FALSE(net->contains(victim));
+}
+
+TEST(ChurnMix, InterleavedJoinsAndLeavesStayCorrect) {
+  util::Rng rng(14);
+  auto net = CycloidNetwork::build_random(6, 100, rng);
+  for (int round = 0; round < 200; ++round) {
+    if (rng.chance(0.5) && net->node_count() > 10) {
+      net->leave(net->random_node(rng));
+    } else {
+      net->join(rng());
+    }
+    if (round % 10 == 0) net->stabilize_one(net->random_node(rng));
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+  }
+  EXPECT_EQ(net->guard_fallbacks(), 0u);
+}
+
+}  // namespace
+}  // namespace cycloid::ccc

@@ -1,0 +1,140 @@
+// Tests for the proximity-aware neighbour-selection extension and the
+// latency accounting it is measured with.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::ccc {
+namespace {
+
+using dht::NodeHandle;
+
+TEST(Proximity, CoordinatesAreDeterministicAndInRange) {
+  auto a = CycloidNetwork::build_complete(5);
+  auto b = CycloidNetwork::build_complete(5);
+  for (const NodeHandle h : a->node_handles()) {
+    const CycloidNode& na = a->node_state(h);
+    const CycloidNode& nb = b->node_state(h);
+    EXPECT_EQ(na.x, nb.x);
+    EXPECT_EQ(na.y, nb.y);
+    EXPECT_GE(na.x, 0.0);
+    EXPECT_LT(na.x, 1.0);
+    EXPECT_GE(na.y, 0.0);
+    EXPECT_LT(na.y, 1.0);
+  }
+}
+
+TEST(Proximity, LinkLatencyIsAMetric) {
+  auto net = CycloidNetwork::build_complete(5);
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const NodeHandle a = net->random_node(rng);
+    const NodeHandle b = net->random_node(rng);
+    const NodeHandle c = net->random_node(rng);
+    const double ab = net->link_latency(a, b);
+    EXPECT_GE(ab, 0.0);
+    // Torus diagonal bound: sqrt(0.5^2 + 0.5^2).
+    EXPECT_LE(ab, 0.7072);
+    EXPECT_DOUBLE_EQ(ab, net->link_latency(b, a));
+    EXPECT_DOUBLE_EQ(net->link_latency(a, a), 0.0);
+    EXPECT_LE(net->link_latency(a, c), ab + net->link_latency(b, c) + 1e-12);
+  }
+}
+
+TEST(Proximity, SelectionStillMatchesTheCubicalPattern) {
+  util::Rng rng(2);
+  auto net = CycloidNetwork::build_random(6, 200, rng, 1,
+                                          NeighborSelection::kProximity);
+  for (const NodeHandle h : net->node_handles()) {
+    const CycloidNode& node = net->node_state(h);
+    if (node.id.cyclic == 0 || node.cubical_neighbor == dht::kNoNode) continue;
+    const CccId cube = CycloidNetwork::id_of(node.cubical_neighbor);
+    EXPECT_EQ(cube.cyclic, node.id.cyclic - 1);
+    const std::uint64_t window = 1ULL << node.id.cyclic;
+    const std::uint64_t base =
+        util::flip_bit(node.id.cubical, static_cast<int>(node.id.cyclic)) &
+        ~(window - 1);
+    EXPECT_GE(cube.cubical, base);
+    EXPECT_LT(cube.cubical, base + window);
+  }
+}
+
+TEST(Proximity, SelectionPicksLowestLatencyCandidate) {
+  auto net = CycloidNetwork::build_complete(6, 1, NeighborSelection::kProximity);
+  for (const NodeHandle h : net->node_handles()) {
+    const CycloidNode& node = net->node_state(h);
+    if (node.id.cyclic == 0) continue;
+    ASSERT_NE(node.cubical_neighbor, dht::kNoNode);
+    const double chosen = net->link_latency(h, node.cubical_neighbor);
+    // In a complete network every pattern candidate exists; none may be
+    // strictly closer than the chosen one.
+    const std::uint64_t window = 1ULL << node.id.cyclic;
+    const std::uint64_t base =
+        util::flip_bit(node.id.cubical, static_cast<int>(node.id.cyclic)) &
+        ~(window - 1);
+    for (std::uint64_t a = base; a < base + window; ++a) {
+      const NodeHandle cand =
+          CycloidNetwork::handle_of(CccId{node.id.cyclic - 1, a});
+      EXPECT_GE(net->link_latency(h, cand), chosen);
+    }
+  }
+}
+
+TEST(Proximity, LookupsRemainCorrectUnderProximityPolicy) {
+  util::Rng rng(3);
+  auto net = CycloidNetwork::build_random(7, 400, rng, 1,
+                                          NeighborSelection::kProximity);
+  for (int i = 0; i < 500; ++i) {
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+  }
+  EXPECT_EQ(net->guard_fallbacks(), 0u);
+}
+
+TEST(Proximity, ReducesRouteLatencyAtSimilarHops) {
+  const auto measure = [](NeighborSelection selection) {
+    auto net = CycloidNetwork::build_complete(7, 1, selection);
+    util::Rng rng(4);
+    double hops = 0.0;
+    double latency = 0.0;
+    const int lookups = 3000;
+    for (int i = 0; i < lookups; ++i) {
+      const NodeHandle from = net->random_node(rng);
+      std::vector<CycloidNetwork::RouteStep> trace;
+      const dht::LookupResult result =
+          net->lookup_id(from, net->key_id(rng()), &trace);
+      hops += result.hops;
+      latency += net->route_latency(from, trace);
+    }
+    return std::pair{hops / lookups, latency / lookups};
+  };
+  const auto [suffix_hops, suffix_latency] =
+      measure(NeighborSelection::kClosestSuffix);
+  const auto [pns_hops, pns_latency] = measure(NeighborSelection::kProximity);
+  EXPECT_LT(pns_latency, 0.9 * suffix_latency);
+  EXPECT_LT(std::abs(pns_hops - suffix_hops), 0.15 * suffix_hops);
+}
+
+TEST(Proximity, RouteLatencySumsLinkLatencies) {
+  auto net = CycloidNetwork::build_complete(5);
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const NodeHandle from = net->random_node(rng);
+    std::vector<CycloidNetwork::RouteStep> trace;
+    net->lookup_id(from, net->key_id(rng()), &trace);
+    double expected = 0.0;
+    NodeHandle prev = from;
+    for (const auto& step : trace) {
+      expected += net->link_latency(prev, step.node);
+      prev = step.node;
+    }
+    EXPECT_DOUBLE_EQ(net->route_latency(from, trace), expected);
+  }
+}
+
+}  // namespace
+}  // namespace cycloid::ccc

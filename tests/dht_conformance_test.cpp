@@ -1,0 +1,189 @@
+// Conformance suite: every overlay implementation must satisfy the
+// DhtNetwork contract. Parameterized over all five systems so the
+// experiment drivers can treat them interchangeably.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dht/network.hpp"
+#include "exp/overlays.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::exp {
+namespace {
+
+using dht::kNoNode;
+using dht::NodeHandle;
+
+class ConformanceTest : public ::testing::TestWithParam<OverlayKind> {
+ protected:
+  std::unique_ptr<dht::DhtNetwork> make(std::size_t count, std::uint64_t seed) {
+    return make_sparse_overlay(GetParam(), 8, count, seed);
+  }
+};
+
+TEST_P(ConformanceTest, NodeHandlesAreUniqueAndContained) {
+  auto net = make(300, 1);
+  EXPECT_EQ(net->node_count(), 300u);
+  const auto handles = net->node_handles();
+  EXPECT_EQ(handles.size(), 300u);
+  const std::set<NodeHandle> unique(handles.begin(), handles.end());
+  EXPECT_EQ(unique.size(), 300u);
+  for (const NodeHandle h : handles) EXPECT_TRUE(net->contains(h));
+  EXPECT_FALSE(net->contains(kNoNode));
+}
+
+TEST_P(ConformanceTest, RandomNodeIsAMember) {
+  auto net = make(50, 2);
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(net->contains(net->random_node(rng)));
+  }
+}
+
+TEST_P(ConformanceTest, RandomNodeCoversTheMembership) {
+  auto net = make(20, 4);
+  util::Rng rng(5);
+  std::set<NodeHandle> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(net->random_node(rng));
+  EXPECT_EQ(seen.size(), net->node_count());
+}
+
+TEST_P(ConformanceTest, OwnerIsStableAndContained) {
+  auto net = make(150, 6);
+  util::Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const dht::KeyHash key = rng();
+    const NodeHandle owner = net->owner_of(key);
+    EXPECT_TRUE(net->contains(owner));
+    EXPECT_EQ(owner, net->owner_of(key));  // deterministic
+  }
+}
+
+TEST_P(ConformanceTest, LookupFromEverySourceFindsOwner) {
+  auto net = make(120, 8);
+  util::Rng rng(9);
+  for (const NodeHandle from : net->node_handles()) {
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(from, key);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+  }
+}
+
+TEST_P(ConformanceTest, PhaseNamesMatchResultSlots) {
+  auto net = make(100, 10);
+  const auto names = net->phase_names();
+  EXPECT_GE(names.size(), 1u);  // CAN's greedy walk is a single phase
+  EXPECT_LE(names.size(), dht::kMaxPhases);
+  util::Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const dht::LookupResult result = net->lookup(net->random_node(rng), rng());
+    // No hops may land outside the named phases.
+    for (std::size_t p = names.size(); p < dht::kMaxPhases; ++p) {
+      EXPECT_EQ(result.phase_hops[p], 0);
+    }
+    int sum = 0;
+    for (const int h : result.phase_hops) sum += h;
+    EXPECT_EQ(sum, result.hops);
+  }
+}
+
+TEST_P(ConformanceTest, QueryLoadAccountsEveryHop) {
+  auto net = make(200, 12);
+  net->reset_query_load();
+  util::Rng rng(13);
+  std::uint64_t hops = 0;
+  for (int i = 0; i < 500; ++i) {
+    hops += static_cast<std::uint64_t>(
+        net->lookup(net->random_node(rng), rng()).hops);
+  }
+  const auto loads = net->query_loads();
+  EXPECT_EQ(loads.size(), net->node_count());
+  std::uint64_t received = 0;
+  for (const std::uint64_t l : loads) received += l;
+  EXPECT_EQ(received, hops);
+  net->reset_query_load();
+  for (const std::uint64_t l : net->query_loads()) EXPECT_EQ(l, 0u);
+}
+
+TEST_P(ConformanceTest, JoinAddsContainedNode) {
+  auto net = make(40, 14);
+  util::Rng rng(15);
+  std::size_t added = 0;
+  for (int i = 0; i < 30; ++i) {
+    const NodeHandle h = net->join(rng());
+    if (h == kNoNode) continue;
+    ++added;
+    EXPECT_TRUE(net->contains(h));
+  }
+  EXPECT_GT(added, 0u);
+  EXPECT_EQ(net->node_count(), 40u + added);
+}
+
+TEST_P(ConformanceTest, LeaveRemovesNode) {
+  auto net = make(40, 16);
+  util::Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    const NodeHandle victim = net->random_node(rng);
+    net->leave(victim);
+    EXPECT_FALSE(net->contains(victim));
+  }
+  EXPECT_EQ(net->node_count(), 20u);
+}
+
+TEST_P(ConformanceTest, LookupsCorrectAfterChurnPlusStabilize) {
+  auto net = make(100, 18);
+  util::Rng rng(19);
+  for (int round = 0; round < 60; ++round) {
+    if (rng.chance(0.5) && net->node_count() > 10) {
+      net->leave(net->random_node(rng));
+    } else {
+      net->join(rng());
+    }
+  }
+  net->stabilize_all();
+  for (int i = 0; i < 200; ++i) {
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+    EXPECT_EQ(result.timeouts, 0);
+  }
+}
+
+TEST_P(ConformanceTest, FailSimultaneouslyLeavesWorkingNetwork) {
+  auto net = make(300, 20);
+  util::Rng rng(21);
+  net->fail_simultaneously(0.3, rng);
+  EXPECT_GT(net->node_count(), 0u);
+  std::uint64_t resolved = 0;
+  for (int i = 0; i < 300; ++i) {
+    const dht::KeyHash key = rng();
+    const dht::LookupResult result = net->lookup(net->random_node(rng), key);
+    if (result.success) {
+      EXPECT_EQ(result.destination, net->owner_of(key));
+      ++resolved;
+    }
+  }
+  // Cycloid/Chord/Viceroy resolve everything; Koorde may lose a few lookups
+  // to dead pointer sets, but the vast majority must still resolve.
+  EXPECT_GE(resolved, 270u);
+}
+
+TEST_P(ConformanceTest, NameIsStable) {
+  auto net = make(10, 22);
+  EXPECT_EQ(net->name(), overlay_label(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOverlays, ConformanceTest,
+                         ::testing::ValuesIn(extended_overlays()),
+                         [](const ::testing::TestParamInfo<OverlayKind>& info) {
+                           std::string name = overlay_label(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace cycloid::exp

@@ -1,0 +1,244 @@
+// Integration tests: scaled-down versions of every paper experiment,
+// asserting the qualitative shapes the paper reports (who wins, what grows,
+// what stays flat) rather than absolute numbers.
+#include "exp/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cycloid::exp {
+namespace {
+
+double row_path(const std::vector<PathLengthRow>& rows, OverlayKind kind,
+                int dimension) {
+  for (const auto& row : rows) {
+    if (row.kind == kind && row.dimension == dimension) return row.mean_path;
+  }
+  ADD_FAILURE() << "missing row";
+  return 0.0;
+}
+
+TEST(Fig5PathLength, CycloidBeatsOtherConstantDegreeDhts) {
+  const auto rows = run_dense_path_lengths(all_overlays(), {4, 5, 6}, 0.2, 1);
+  for (const int d : {4, 5, 6}) {
+    const double cycloid = row_path(rows, OverlayKind::kCycloid7, d);
+    const double viceroy = row_path(rows, OverlayKind::kViceroy, d);
+    const double koorde = row_path(rows, OverlayKind::kKoorde, d);
+    // Paper Sec. 4.1: Viceroy is clearly the longest (more than 2x Cycloid
+    // in the paper's runs; we require a robust 1.5x), Koorde in between.
+    EXPECT_GT(viceroy, 1.5 * cycloid) << "d=" << d;
+    EXPECT_GT(koorde, cycloid) << "d=" << d;
+  }
+  for (const auto& row : rows) EXPECT_EQ(row.incorrect, 0u);
+}
+
+TEST(Fig5PathLength, ElevenEntryCycloidIsShorter) {
+  const auto rows = run_dense_path_lengths(
+      {OverlayKind::kCycloid7, OverlayKind::kCycloid11}, {5, 6}, 0.2, 2);
+  for (const int d : {5, 6}) {
+    EXPECT_LT(row_path(rows, OverlayKind::kCycloid11, d),
+              row_path(rows, OverlayKind::kCycloid7, d));
+  }
+}
+
+TEST(Fig6Dimension, PathGrowsWithDimension) {
+  const auto rows = run_dense_path_lengths({OverlayKind::kCycloid7},
+                                           {3, 4, 5, 6}, 0.2, 3);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].mean_path, rows[i - 1].mean_path);
+  }
+}
+
+TEST(Fig7Breakdown, CycloidAscendingIsSmallShare) {
+  const auto rows =
+      run_dense_path_lengths({OverlayKind::kCycloid7}, {6}, 0.2, 4);
+  ASSERT_EQ(rows.size(), 1u);
+  // Paper: ascending is at most ~15% of Cycloid's path (we allow slack).
+  EXPECT_LE(rows[0].phase_fractions[0], 0.25);
+  EXPECT_EQ(rows[0].phase_names[0], "ascend");
+}
+
+TEST(Fig7Breakdown, ViceroyAscendingIsLargerShareThanCycloids) {
+  const auto rows = run_dense_path_lengths(
+      {OverlayKind::kCycloid7, OverlayKind::kViceroy}, {6}, 0.2, 5);
+  double cycloid_ascend = 0.0;
+  double viceroy_ascend = 0.0;
+  for (const auto& row : rows) {
+    if (row.kind == OverlayKind::kCycloid7) cycloid_ascend = row.phase_fractions[0];
+    if (row.kind == OverlayKind::kViceroy) viceroy_ascend = row.phase_fractions[0];
+  }
+  EXPECT_GT(viceroy_ascend, cycloid_ascend);
+}
+
+TEST(Fig8KeyDistribution, ViceroySpreadExceedsCycloid) {
+  const auto rows = run_key_distribution(
+      {OverlayKind::kCycloid7, OverlayKind::kViceroy, OverlayKind::kKoorde},
+      8, 600, {20000}, 6);
+  std::map<OverlayKind, double> p99;
+  for (const auto& row : rows) p99[row.kind] = row.p99;
+  // Paper Fig. 8: Viceroy has much larger variation than Cycloid.
+  EXPECT_GT(p99[OverlayKind::kViceroy], p99[OverlayKind::kCycloid7]);
+}
+
+TEST(Fig8KeyDistribution, MeansScaleWithKeyCount) {
+  const auto rows = run_key_distribution({OverlayKind::kCycloid7}, 8, 500,
+                                         {10000, 20000}, 7);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NEAR(rows[0].mean, 10000.0 / 500.0, 1e-9);
+  EXPECT_NEAR(rows[1].mean, 20000.0 / 500.0, 1e-9);
+}
+
+TEST(Fig9SparseKeyDistribution, CycloidTighterThanKoorde) {
+  // Paper Fig. 9: with 1000 of 2048 identifiers populated, Cycloid's
+  // two-dimensional assignment balances better than Koorde's successor rule.
+  const auto rows = run_key_distribution(
+      {OverlayKind::kCycloid7, OverlayKind::kKoorde}, 8, 300, {30000}, 8);
+  std::map<OverlayKind, double> p99;
+  for (const auto& row : rows) p99[row.kind] = row.p99;
+  EXPECT_LE(p99[OverlayKind::kCycloid7], p99[OverlayKind::kKoorde]);
+}
+
+TEST(Fig10QueryLoad, CycloidVarianceBelowOtherConstantDegree) {
+  const auto rows = run_query_load(
+      {OverlayKind::kCycloid7, OverlayKind::kViceroy, OverlayKind::kKoorde},
+      {6}, 0.3, 9);
+  std::map<OverlayKind, double> stddev;
+  for (const auto& row : rows) stddev[row.kind] = row.stddev;
+  EXPECT_LT(stddev[OverlayKind::kCycloid7], stddev[OverlayKind::kViceroy]);
+  EXPECT_LT(stddev[OverlayKind::kCycloid7], stddev[OverlayKind::kKoorde]);
+}
+
+TEST(Fig11Failures, CycloidTimeoutsGrowViceroyHasNone) {
+  const auto rows = run_failure_experiment(
+      {OverlayKind::kCycloid7, OverlayKind::kViceroy}, 6, {0.1, 0.4}, 1500,
+      10);
+  double cycloid_low = -1.0;
+  double cycloid_high = -1.0;
+  for (const auto& row : rows) {
+    if (row.kind == OverlayKind::kCycloid7) {
+      (row.departure_probability < 0.2 ? cycloid_low : cycloid_high) =
+          row.mean_timeouts;
+      EXPECT_EQ(row.failures, 0u);
+    }
+    if (row.kind == OverlayKind::kViceroy) {
+      EXPECT_EQ(row.mean_timeouts, 0.0);
+      EXPECT_EQ(row.failures, 0u);
+    }
+  }
+  EXPECT_GT(cycloid_high, cycloid_low);
+}
+
+TEST(Fig11Failures, KoordeFailsAtHighPButRarelyTimesOut) {
+  const auto rows = run_failure_experiment(
+      {OverlayKind::kKoorde, OverlayKind::kCycloid7}, 6, {0.5}, 1500, 11);
+  double koorde_failures = 0;
+  double koorde_timeouts = 0;
+  double cycloid_timeouts = 0;
+  for (const auto& row : rows) {
+    if (row.kind == OverlayKind::kKoorde) {
+      koorde_failures = static_cast<double>(row.failures);
+      koorde_timeouts = row.mean_timeouts;
+    } else {
+      cycloid_timeouts = row.mean_timeouts;
+    }
+  }
+  EXPECT_GT(koorde_failures, 0.0);
+  EXPECT_LT(koorde_timeouts, cycloid_timeouts);
+}
+
+TEST(Fig11Failures, ViceroyPathShrinksWithP) {
+  const auto rows = run_failure_experiment({OverlayKind::kViceroy}, 6,
+                                           {0.1, 0.5}, 1500, 12);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_GT(rows[0].mean_path, rows[1].mean_path);
+}
+
+TEST(ExtUngraceful, UnannouncedDeparturesCauseFailuresUntilStabilization) {
+  const auto rows = run_ungraceful_experiment(
+      {OverlayKind::kCycloid7, OverlayKind::kChord}, 6, {0.4}, 1200, 21);
+  for (const auto& row : rows) {
+    // Nodes vanished silently: some lookups cannot find the correct owner…
+    EXPECT_GT(row.failures_before_repair, 0u) << overlay_label(row.kind);
+    // …until stabilization rebuilds the state from the live membership.
+    EXPECT_EQ(row.failures_after_repair, 0u) << overlay_label(row.kind);
+    EXPECT_GT(row.mean_timeouts, 0.0) << overlay_label(row.kind);
+  }
+}
+
+TEST(ExtUngraceful, WiderLeafSetsReduceTheDamage) {
+  const auto rows = run_ungraceful_experiment(
+      {OverlayKind::kCycloid7, OverlayKind::kCycloid11}, 6, {0.3}, 1500, 22);
+  ASSERT_EQ(rows.size(), 2u);
+  std::uint64_t narrow = 0;
+  std::uint64_t wide = 0;
+  for (const auto& row : rows) {
+    if (row.kind == OverlayKind::kCycloid7) narrow = row.failures_before_repair;
+    if (row.kind == OverlayKind::kCycloid11) wide = row.failures_before_repair;
+  }
+  EXPECT_LT(wide, narrow);
+}
+
+TEST(ExtUngraceful, GracefulModeIsUnaffectedByTheNewAccounting) {
+  // Sanity: with graceful departures (Fig. 11 conditions) the overlays with
+  // eagerly-repaired leaf/successor structures still never fail.
+  const auto rows = run_failure_experiment(
+      {OverlayKind::kCycloid7, OverlayKind::kChord}, 6, {0.5}, 1200, 23);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.failures, 0u) << overlay_label(row.kind);
+  }
+}
+
+TEST(Fig12Churn, StabilizationKeepsLookupsCleanAndCorrect) {
+  for (const OverlayKind kind :
+       {OverlayKind::kCycloid7, OverlayKind::kKoorde, OverlayKind::kViceroy}) {
+    const ChurnRow row = run_churn_experiment(kind, 6, 0.2, 600.0, 30.0, 13);
+    EXPECT_GT(row.lookups, 400u) << overlay_label(kind);
+    EXPECT_EQ(row.failures, 0u) << overlay_label(kind);
+    // With stabilization, timeouts are rare (paper Table 5: < 0.5/lookup).
+    EXPECT_LT(row.mean_timeouts, 0.5) << overlay_label(kind);
+  }
+}
+
+TEST(Fig12Churn, PathLengthInsensitiveToChurnRate) {
+  const ChurnRow slow =
+      run_churn_experiment(OverlayKind::kCycloid7, 6, 0.05, 600.0, 30.0, 14);
+  const ChurnRow fast =
+      run_churn_experiment(OverlayKind::kCycloid7, 6, 0.4, 600.0, 30.0, 14);
+  EXPECT_LT(std::abs(slow.mean_path - fast.mean_path),
+            0.35 * slow.mean_path);
+}
+
+TEST(Fig13Sparsity, CycloidStaysFlatKoordeDegrades) {
+  const auto rows = run_sparsity_experiment(
+      {OverlayKind::kCycloid7, OverlayKind::kKoorde}, 7, {0.0, 0.6}, 1500,
+      15);
+  std::map<std::pair<int, int>, double> path;  // (kind, sparse?) -> mean
+  for (const auto& row : rows) {
+    path[{static_cast<int>(row.kind), row.sparsity > 0.3 ? 1 : 0}] =
+        row.mean_path;
+    EXPECT_EQ(row.failures, 0u);
+  }
+  const double cycloid_dense =
+      path[{static_cast<int>(OverlayKind::kCycloid7), 0}];
+  const double cycloid_sparse =
+      path[{static_cast<int>(OverlayKind::kCycloid7), 1}];
+  const double koorde_dense = path[{static_cast<int>(OverlayKind::kKoorde), 0}];
+  const double koorde_sparse =
+      path[{static_cast<int>(OverlayKind::kKoorde), 1}];
+  // Cycloid's path length slightly *decreases* as the network empties.
+  EXPECT_LE(cycloid_sparse, cycloid_dense * 1.1);
+  // Koorde must not improve: its de Bruijn simulation pays for the gaps.
+  EXPECT_GT(koorde_sparse, koorde_dense * 0.8);
+}
+
+TEST(Fig14KoordeBreakdown, SuccessorShareGrowsWithSparsity) {
+  const auto rows = run_sparsity_experiment({OverlayKind::kKoorde}, 7,
+                                            {0.0, 0.3, 0.6}, 1500, 16);
+  ASSERT_EQ(rows.size(), 3u);
+  // phase slot 1 = successor hops.
+  EXPECT_LT(rows[0].phase_fractions[1], rows[2].phase_fractions[1]);
+}
+
+}  // namespace
+}  // namespace cycloid::exp

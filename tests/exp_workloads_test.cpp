@@ -1,0 +1,108 @@
+// Tests for the workload runners feeding every bench binary.
+#include "exp/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "exp/overlays.hpp"
+#include "hash/keys.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::exp {
+namespace {
+
+TEST(RunRandomLookups, CountsAndCorrectness) {
+  auto net = make_dense_overlay(OverlayKind::kCycloid7, 5, 1);
+  util::Rng rng(2);
+  const WorkloadStats stats = run_random_lookups(*net, 500, rng);
+  EXPECT_EQ(stats.lookups, 500u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.incorrect, 0u);
+  EXPECT_EQ(stats.path_length.count(), 500u);
+  EXPECT_EQ(stats.timeouts.count(), 500u);
+  EXPECT_GT(stats.mean_path(), 0.0);
+}
+
+TEST(RunRandomLookups, PhaseFractionsSumToOne) {
+  auto net = make_dense_overlay(OverlayKind::kViceroy, 5, 3);
+  util::Rng rng(4);
+  const WorkloadStats stats = run_random_lookups(*net, 300, rng);
+  double total = 0.0;
+  for (std::size_t p = 0; p < dht::kMaxPhases; ++p) {
+    total += stats.phase_fraction(p);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(stats.phase_names.size(), 3u);
+}
+
+TEST(RunRandomLookups, DeterministicUnderSeed) {
+  auto net1 = make_dense_overlay(OverlayKind::kChord, 5, 7);
+  auto net2 = make_dense_overlay(OverlayKind::kChord, 5, 7);
+  util::Rng r1(8);
+  util::Rng r2(8);
+  const WorkloadStats a = run_random_lookups(*net1, 200, r1);
+  const WorkloadStats b = run_random_lookups(*net2, 200, r2);
+  EXPECT_EQ(a.mean_path(), b.mean_path());
+  EXPECT_EQ(a.timeouts.mean(), b.timeouts.mean());
+}
+
+TEST(KeyDistribution, TotalsMatchKeyCount) {
+  auto net = make_sparse_overlay(OverlayKind::kCycloid7, 8, 500, 9);
+  const stats::Summary per_node = key_distribution(*net, 10000);
+  EXPECT_EQ(per_node.count(), net->node_count());
+  double total = 0.0;
+  for (const double v : per_node.samples()) total += v;
+  EXPECT_DOUBLE_EQ(total, 10000.0);
+}
+
+TEST(KeyDistribution, MeanIsKeysPerNode) {
+  auto net = make_sparse_overlay(OverlayKind::kChord, 8, 400, 10);
+  const stats::Summary per_node = key_distribution(*net, 8000);
+  EXPECT_NEAR(per_node.mean(), 8000.0 / 400.0, 1e-9);
+}
+
+TEST(KeyDistribution, CycloidSpreadIsReasonable) {
+  // In a 2000-of-2048 network the paper's Fig. 8 shows Cycloid's spread
+  // comparable to Chord's; sanity-check the p99 stays within a small
+  // multiple of the mean.
+  auto net = make_sparse_overlay(OverlayKind::kCycloid7, 8, 2000, 11);
+  const stats::Summary per_node = key_distribution(*net, 50000);
+  EXPECT_LT(per_node.p99(), 10.0 * per_node.mean());
+}
+
+TEST(QueryLoadDistribution, OneSamplePerNode) {
+  auto net = make_dense_overlay(OverlayKind::kKoorde, 4, 12);
+  util::Rng rng(13);
+  const stats::Summary loads = query_load_distribution(*net, 1000, rng);
+  EXPECT_EQ(loads.count(), net->node_count());
+  EXPECT_GT(loads.mean(), 0.0);
+}
+
+TEST(OverlayFactories, DenseSizesMatchFormula) {
+  for (const int d : {3, 4, 5}) {
+    for (const OverlayKind kind : all_overlays()) {
+      auto net = make_dense_overlay(kind, d, 21);
+      EXPECT_EQ(net->node_count(),
+                static_cast<std::size_t>(d) << d)
+          << overlay_label(kind) << " d=" << d;
+    }
+  }
+}
+
+TEST(OverlayFactories, SparseCountsMatch) {
+  for (const OverlayKind kind : all_overlays()) {
+    auto net = make_sparse_overlay(kind, 8, 777, 22);
+    EXPECT_EQ(net->node_count(), 777u) << overlay_label(kind);
+  }
+}
+
+TEST(OverlayFactories, LabelsAreDistinct) {
+  std::set<std::string> labels;
+  for (const OverlayKind kind : all_overlays()) {
+    EXPECT_TRUE(labels.insert(overlay_label(kind)).second);
+  }
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+}  // namespace
+}  // namespace cycloid::exp

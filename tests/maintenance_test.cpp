@@ -1,0 +1,102 @@
+// Tests for the maintenance-overhead accounting (the fifth DHT metric of
+// paper Sec. 4) across the overlays.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "exp/overlays.hpp"
+#include "util/rng.hpp"
+#include "viceroy/viceroy.hpp"
+
+namespace cycloid::exp {
+namespace {
+
+TEST(Maintenance, JoinAndLeaveCostStateUpdates) {
+  for (const OverlayKind kind :
+       {OverlayKind::kCycloid7, OverlayKind::kChord, OverlayKind::kKoorde,
+        OverlayKind::kPastry}) {
+    auto net = make_sparse_overlay(kind, 7, 300, 1);
+    util::Rng rng(2);
+    net->reset_maintenance();
+    EXPECT_EQ(net->maintenance_updates(), 0u);
+
+    dht::NodeHandle joined = dht::kNoNode;
+    std::uint64_t seed = 1;
+    while (joined == dht::kNoNode) joined = net->join(seed++);
+    const std::uint64_t after_join = net->maintenance_updates();
+    EXPECT_GT(after_join, 0u) << overlay_label(kind);
+    // A single join touches a bounded neighbourhood, not the network.
+    EXPECT_LT(after_join, 64u) << overlay_label(kind);
+
+    net->leave(joined);
+    EXPECT_GT(net->maintenance_updates(), after_join) << overlay_label(kind);
+  }
+}
+
+TEST(Maintenance, StableStabilizationIsCheap) {
+  // Re-stabilizing an already-stable network changes (almost) nothing, so
+  // the change-detected update count stays near zero.
+  auto net = make_sparse_overlay(OverlayKind::kCycloid7, 7, 400, 3);
+  net->stabilize_all();  // reach fixpoint
+  net->reset_maintenance();
+  net->stabilize_all();
+  EXPECT_EQ(net->maintenance_updates(), 0u);
+}
+
+TEST(Maintenance, StabilizationAfterDamageIsExpensive) {
+  auto net = make_sparse_overlay(OverlayKind::kCycloid7, 7, 400, 4);
+  util::Rng rng(5);
+  net->fail_simultaneously(0.3, rng);
+  net->reset_maintenance();
+  net->stabilize_all();
+  // Many routing tables reference departed nodes and must change.
+  EXPECT_GT(net->maintenance_updates(), net->node_count() / 4);
+}
+
+TEST(Maintenance, ViceroyAccountingIsOptIn) {
+  util::Rng rng(6);
+  auto net = viceroy::ViceroyNetwork::build_random(200, rng);
+  net->reset_maintenance();
+  net->join(12345);
+  EXPECT_EQ(net->maintenance_updates(), 0u);  // accounting disabled
+
+  net->enable_maintenance_accounting(true);
+  dht::NodeHandle joined = dht::kNoNode;
+  std::uint64_t seed = 999;
+  while (joined == dht::kNoNode) joined = net->join(seed++);
+  const std::uint64_t after_join = net->maintenance_updates();
+  // 7 outgoing links plus at least the ring neighbours' incoming repairs.
+  EXPECT_GE(after_join, 9u);
+
+  net->leave(joined);
+  EXPECT_GT(net->maintenance_updates(), after_join);
+}
+
+TEST(Maintenance, ViceroyEventCostExceedsChords) {
+  // The paper's conclusion: Viceroy handles membership change "at a high
+  // cost for connectivity maintenance" relative to the others.
+  util::Rng rng(7);
+  auto viceroy_net = viceroy::ViceroyNetwork::build_random(400, rng);
+  viceroy_net->enable_maintenance_accounting(true);
+  auto chord_net = make_sparse_overlay(OverlayKind::kChord, 7, 400, 8);
+
+  const auto cost_per_leave = [&](dht::DhtNetwork& net) {
+    util::Rng r(9);
+    net.reset_maintenance();
+    for (int i = 0; i < 40; ++i) net.leave(net.random_node(r));
+    return static_cast<double>(net.maintenance_updates()) / 40.0;
+  };
+  EXPECT_GT(cost_per_leave(*viceroy_net), cost_per_leave(*chord_net));
+}
+
+TEST(Maintenance, ResetClearsTheCounter) {
+  auto net = make_sparse_overlay(OverlayKind::kKoorde, 6, 100, 10);
+  std::uint64_t seed = 1;
+  while (net->join(seed++) == dht::kNoNode) {
+  }
+  EXPECT_GT(net->maintenance_updates(), 0u);
+  net->reset_maintenance();
+  EXPECT_EQ(net->maintenance_updates(), 0u);
+}
+
+}  // namespace
+}  // namespace cycloid::exp

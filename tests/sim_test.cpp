@@ -1,0 +1,120 @@
+// Tests for the discrete-event kernel driving the churn experiment.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/poisson.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimestampOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(10.0, [&] { ++fired; });
+  const std::uint64_t executed = queue.run_until(5.0);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ActionsMayScheduleFurtherEvents) {
+  EventQueue queue;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    ++chain;
+    if (chain < 5) queue.schedule_in(1.0, step);
+  };
+  queue.schedule_at(0.0, step);
+  queue.run_all();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.schedule_at(2.0, [&] {
+    queue.schedule_in(3.0, [&] { fired_at = queue.now(); });
+  });
+  queue.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(PoissonProcess, RateIsApproximatelyRespected) {
+  EventQueue queue;
+  util::Rng rng(99);
+  int events = 0;
+  auto proc = PoissonProcess::start(queue, rng, 2.0, [&] { ++events; });
+  queue.run_until(5000.0);
+  proc->stop();
+  // Expect ~10000 events; Poisson sd is ~100.
+  EXPECT_NEAR(events, 10000, 500);
+}
+
+TEST(PoissonProcess, StopHaltsArrivals) {
+  EventQueue queue;
+  util::Rng rng(100);
+  int events = 0;
+  auto proc = PoissonProcess::start(queue, rng, 10.0, [&] { ++events; });
+  queue.run_until(10.0);
+  const int at_stop = events;
+  EXPECT_GT(at_stop, 0);
+  proc->stop();
+  queue.run_until(100.0);
+  EXPECT_EQ(events, at_stop);
+}
+
+TEST(PeriodicProcess, FiresEveryPeriodAfterPhase) {
+  EventQueue queue;
+  std::vector<double> times;
+  auto proc =
+      PeriodicProcess::start(queue, 10.0, 3.0, [&] { times.push_back(queue.now()); });
+  queue.run_until(45.0);
+  proc->stop();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times[0], 3.0);
+  EXPECT_DOUBLE_EQ(times[1], 13.0);
+  EXPECT_DOUBLE_EQ(times[4], 43.0);
+}
+
+TEST(PeriodicProcess, StopFromWithinAction) {
+  EventQueue queue;
+  int count = 0;
+  std::shared_ptr<PeriodicProcess> proc;
+  proc = PeriodicProcess::start(queue, 1.0, 0.0, [&] {
+    if (++count == 3) proc->stop();
+  });
+  queue.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace cycloid::sim

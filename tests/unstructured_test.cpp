@@ -1,0 +1,152 @@
+// Tests for the unstructured (Gnutella-style) overlay and its flooding /
+// random-walk search.
+#include "unstructured/unstructured.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cycloid::unstructured {
+namespace {
+
+TEST(UnstructuredBuild, GraphIsConnected) {
+  util::Rng rng(1);
+  for (const std::size_t n : {1u, 2u, 10u, 500u}) {
+    auto net = UnstructuredNetwork::build_random(n, 4, rng);
+    EXPECT_EQ(net->node_count(), n);
+    EXPECT_TRUE(net->connected());
+  }
+}
+
+TEST(UnstructuredBuild, DegreesAreAtLeastRequested) {
+  util::Rng rng(2);
+  auto net = UnstructuredNetwork::build_random(300, 4, rng);
+  // Every node initiated 4 links (the first few fewer); incoming links only
+  // add to that.
+  std::size_t total_degree = 0;
+  for (NodeId v = 0; v < 300; ++v) {
+    total_degree += static_cast<std::size_t>(net->degree_of(v));
+  }
+  // 4 links per join (minus the bootstrap), each counted twice.
+  EXPECT_GE(total_degree, 2u * (4u * 300u - 20u));
+}
+
+TEST(UnstructuredObjects, PlacementCountsReplicas) {
+  util::Rng rng(3);
+  auto net = UnstructuredNetwork::build_random(100, 3, rng);
+  net->place_object(42, 7, rng);
+  EXPECT_EQ(net->replica_count(42), 7u);
+  EXPECT_EQ(net->replica_count(43), 0u);
+  std::size_t holders = 0;
+  for (NodeId v = 0; v < 100; ++v) holders += net->node_has(v, 42) ? 1 : 0;
+  EXPECT_EQ(holders, 7u);
+}
+
+TEST(UnstructuredFlood, UnboundedTtlAlwaysFinds) {
+  util::Rng rng(4);
+  auto net = UnstructuredNetwork::build_random(200, 3, rng);
+  net->place_object(7, 1, rng);
+  for (int q = 0; q < 50; ++q) {
+    const SearchResult result =
+        net->flood(net->random_node(rng), 7, /*ttl=*/200);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.nodes_contacted, 200u);  // flooding reaches everyone
+  }
+}
+
+TEST(UnstructuredFlood, BoundedTtlCanMiss) {
+  util::Rng rng(5);
+  auto net = UnstructuredNetwork::build_random(2000, 3, rng);
+  net->place_object(9, 1, rng);
+  int misses = 0;
+  for (int q = 0; q < 100; ++q) {
+    if (!net->flood(net->random_node(rng), 9, /*ttl=*/2).found) ++misses;
+  }
+  EXPECT_GT(misses, 0);  // "flooding ... cannot guarantee data location"
+}
+
+TEST(UnstructuredFlood, MessagesGrowExponentiallyWithTtl) {
+  util::Rng rng(6);
+  auto net = UnstructuredNetwork::build_random(5000, 4, rng);
+  net->place_object(1, 1, rng);
+  const NodeId source = net->random_node(rng);
+  std::uint64_t prev = 0;
+  for (const int ttl : {1, 2, 3, 4}) {
+    const SearchResult result = net->flood(source, 1, ttl);
+    EXPECT_GT(result.messages, prev);
+    if (ttl > 1 && prev > 0) {
+      EXPECT_GE(result.messages, 2 * prev);  // branching factor >= 2
+    }
+    prev = result.messages;
+  }
+}
+
+TEST(UnstructuredFlood, CountsDuplicateDeliveries) {
+  util::Rng rng(7);
+  auto net = UnstructuredNetwork::build_random(300, 5, rng);
+  net->place_object(2, 1, rng);
+  const SearchResult result = net->flood(net->random_node(rng), 2, 300);
+  // A random graph has cycles, so a full flood must hit seen nodes again.
+  EXPECT_GT(result.duplicate_deliveries, 0u);
+  EXPECT_EQ(result.messages,
+            result.duplicate_deliveries + result.nodes_contacted - 1);
+}
+
+TEST(UnstructuredFlood, FirstHitHopsIsBfsDistance) {
+  util::Rng rng(8);
+  auto net = UnstructuredNetwork::build_random(100, 3, rng);
+  net->place_object(3, 100, rng);  // everyone holds it
+  const SearchResult result = net->flood(net->random_node(rng), 3, 10);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.first_hit_hops, 0);  // the source itself holds a copy
+}
+
+TEST(UnstructuredWalk, MessageCountBoundedByWalkersTimesTtl) {
+  util::Rng rng(9);
+  auto net = UnstructuredNetwork::build_random(500, 4, rng);
+  net->place_object(4, 1, rng);
+  for (int q = 0; q < 50; ++q) {
+    const SearchResult result =
+        net->random_walk(net->random_node(rng), 4, 8, 64, rng);
+    EXPECT_LE(result.messages, 8u * 64u);
+  }
+}
+
+TEST(UnstructuredWalk, CheaperThanFloodButLessReliable) {
+  util::Rng rng(10);
+  auto net = UnstructuredNetwork::build_random(2000, 4, rng);
+  net->place_object(5, 20, rng);  // 1% replication
+  std::uint64_t flood_messages = 0;
+  std::uint64_t walk_messages = 0;
+  int flood_hits = 0;
+  int walk_hits = 0;
+  const int queries = 60;
+  for (int q = 0; q < queries; ++q) {
+    const NodeId source = net->random_node(rng);
+    const SearchResult f = net->flood(source, 5, 6);
+    const SearchResult w = net->random_walk(source, 5, 16, 64, rng);
+    flood_messages += f.messages;
+    walk_messages += w.messages;
+    flood_hits += f.found ? 1 : 0;
+    walk_hits += w.found ? 1 : 0;
+  }
+  EXPECT_LT(walk_messages, flood_messages);  // "reduce flooding by some extent"
+  EXPECT_GE(flood_hits, walk_hits);          // at the price of reliability
+  EXPECT_GT(walk_hits, queries / 3);         // but still mostly works
+}
+
+TEST(UnstructuredWalk, SatisfiedWalkerStopsOthersContinue) {
+  // With the object everywhere, every walker stops after at most one step:
+  // messages <= walkers.
+  util::Rng rng(11);
+  auto net = UnstructuredNetwork::build_random(100, 3, rng);
+  net->place_object(6, 100, rng);
+  const SearchResult result =
+      net->random_walk(net->random_node(rng), 6, 8, 64, rng);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.first_hit_hops, 0);
+  EXPECT_EQ(result.messages, 0u);  // source holds it; walkers never launch?
+}
+
+}  // namespace
+}  // namespace cycloid::unstructured

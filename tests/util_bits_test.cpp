@@ -1,0 +1,173 @@
+// Unit and property tests for the bit/modular-arithmetic helpers every
+// overlay routes with.
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cycloid::util {
+namespace {
+
+TEST(MsbIndex, KnownValues) {
+  EXPECT_EQ(msb_index(1), 0);
+  EXPECT_EQ(msb_index(2), 1);
+  EXPECT_EQ(msb_index(3), 1);
+  EXPECT_EQ(msb_index(4), 2);
+  EXPECT_EQ(msb_index(0x80ULL), 7);
+  EXPECT_EQ(msb_index(~0ULL), 63);
+}
+
+TEST(Msdb, EqualValuesHaveNoDifferingBit) {
+  EXPECT_EQ(msdb(0, 0), -1);
+  EXPECT_EQ(msdb(12345, 12345), -1);
+}
+
+TEST(Msdb, KnownValues) {
+  EXPECT_EQ(msdb(0b1000, 0b0000), 3);
+  EXPECT_EQ(msdb(0b1010, 0b1000), 1);
+  EXPECT_EQ(msdb(0b1010, 0b1011), 0);
+  // The paper's routing example: (0,0100) toward (2,1111) has MSDB 3.
+  EXPECT_EQ(msdb(0b0100, 0b1111), 3);
+}
+
+TEST(Msdb, IsSymmetric) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    EXPECT_EQ(msdb(a, b), msdb(b, a));
+  }
+}
+
+TEST(Msdb, AgreesWithSharedPrefixLength) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng() & 0xff;
+    const std::uint64_t b = rng() & 0xff;
+    const int m = msdb(a, b);
+    if (m == -1) {
+      EXPECT_EQ(a, b);
+      continue;
+    }
+    // Bits above m agree; bit m differs.
+    EXPECT_EQ(a >> (m + 1), b >> (m + 1));
+    EXPECT_NE(bit(a, m), bit(b, m));
+  }
+}
+
+TEST(FlipBit, IsInvolution) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = rng();
+    const int pos = static_cast<int>(rng.below(64));
+    EXPECT_EQ(flip_bit(flip_bit(x, pos), pos), x);
+    EXPECT_NE(flip_bit(x, pos), x);
+  }
+}
+
+TEST(ClockwiseDistance, BasicRing) {
+  EXPECT_EQ(clockwise_distance(0, 0, 8), 0u);
+  EXPECT_EQ(clockwise_distance(0, 3, 8), 3u);
+  EXPECT_EQ(clockwise_distance(3, 0, 8), 5u);
+  EXPECT_EQ(clockwise_distance(7, 0, 8), 1u);
+}
+
+TEST(ClockwiseDistance, ForwardPlusBackwardIsModulus) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t m = 1 + rng.below(1 << 20);
+    const std::uint64_t a = rng.below(m);
+    const std::uint64_t b = rng.below(m);
+    if (a == b) continue;
+    EXPECT_EQ(clockwise_distance(a, b, m) + clockwise_distance(b, a, m), m);
+  }
+}
+
+TEST(CircularDistance, SymmetricAndBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t m = 2 + rng.below(1 << 20);
+    const std::uint64_t a = rng.below(m);
+    const std::uint64_t b = rng.below(m);
+    const std::uint64_t d = circular_distance(a, b, m);
+    EXPECT_EQ(d, circular_distance(b, a, m));
+    EXPECT_LE(d, m / 2);
+    if (a == b) {
+      EXPECT_EQ(d, 0u);
+    }
+  }
+}
+
+TEST(CircularDistance, TriangleInequality) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t m = 2 + rng.below(1 << 16);
+    const std::uint64_t a = rng.below(m);
+    const std::uint64_t b = rng.below(m);
+    const std::uint64_t c = rng.below(m);
+    EXPECT_LE(circular_distance(a, c, m),
+              circular_distance(a, b, m) + circular_distance(b, c, m));
+  }
+}
+
+TEST(InHalfOpenCw, ChordMembership) {
+  // (a, b] on a ring of 16.
+  EXPECT_TRUE(in_half_open_cw(5, 3, 8, 16));
+  EXPECT_TRUE(in_half_open_cw(8, 3, 8, 16));
+  EXPECT_FALSE(in_half_open_cw(3, 3, 8, 16));
+  EXPECT_FALSE(in_half_open_cw(9, 3, 8, 16));
+  // Wrapping interval (14, 2].
+  EXPECT_TRUE(in_half_open_cw(15, 14, 2, 16));
+  EXPECT_TRUE(in_half_open_cw(0, 14, 2, 16));
+  EXPECT_TRUE(in_half_open_cw(2, 14, 2, 16));
+  EXPECT_FALSE(in_half_open_cw(3, 14, 2, 16));
+  EXPECT_FALSE(in_half_open_cw(14, 14, 2, 16));
+}
+
+TEST(InHalfOpenCw, ExactlyOneOfComplementaryIntervals) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t m = 4 + rng.below(1 << 12);
+    const std::uint64_t a = rng.below(m);
+    const std::uint64_t b = rng.below(m);
+    const std::uint64_t x = rng.below(m);
+    if (a == b) continue;
+    // Every x != a is in exactly one of (a, b] and (b, a]; x == a lies in
+    // neither's interior but closes the second interval.
+    const bool first = in_half_open_cw(x, a, b, m);
+    const bool second = in_half_open_cw(x, b, a, m);
+    if (x == a) {
+      EXPECT_FALSE(first);
+      EXPECT_TRUE(second);
+    } else {
+      EXPECT_NE(first, second);
+    }
+  }
+}
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_EQ(ceil_log2(2048), 11);
+}
+
+TEST(CeilLog2, CoversValue) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = 1 + rng.below(1ULL << 40);
+    const int p = ceil_log2(x);
+    EXPECT_GE(1ULL << p, x);
+    if (p > 0) {
+      EXPECT_LT(1ULL << (p - 1), x);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cycloid::util

@@ -1,0 +1,100 @@
+// Tests for the command-line parser behind examples/simulate.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cycloid::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("tool", "test tool");
+  parser.add_option("nodes", "1024", "node count");
+  parser.add_option("rate", "0.5", "a rate");
+  parser.add_option("name", "", "a string");
+  parser.add_flag("verbose", "chatty output");
+  return parser;
+}
+
+bool parse(ArgParser& parser, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApplyWhenUnset) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_EQ(parser.get("nodes"), "1024");
+  EXPECT_EQ(parser.get_int("nodes"), 1024);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.5);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--nodes", "42", "--name", "alpha"}));
+  EXPECT_EQ(parser.get_int("nodes"), 42);
+  EXPECT_EQ(parser.get("name"), "alpha");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--nodes=7", "--rate=0.25"}));
+  EXPECT_EQ(parser.get_int("nodes"), 7);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.25);
+}
+
+TEST(ArgParser, FlagsAreBoolean) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--verbose"}));
+  EXPECT_TRUE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParser, FlagRejectsValue) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"--verbose=yes"}));
+  EXPECT_NE(parser.error().find("takes no value"), std::string::npos);
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"--bogus", "1"}));
+  EXPECT_NE(parser.error().find("unknown option"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"--nodes"}));
+  EXPECT_NE(parser.error().find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, NonOptionArgumentFails) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"positional"}));
+  EXPECT_NE(parser.error().find("unexpected argument"), std::string::npos);
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"--help"}));
+  EXPECT_TRUE(parser.help_requested());
+  EXPECT_TRUE(parser.error().empty());
+}
+
+TEST(ArgParser, HelpTextListsOptionsAndDefaults) {
+  const ArgParser parser = make_parser();
+  const std::string help = parser.help_text();
+  EXPECT_NE(help.find("--nodes"), std::string::npos);
+  EXPECT_NE(help.find("default: 1024"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, LastValueWins) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--nodes", "1", "--nodes", "2"}));
+  EXPECT_EQ(parser.get_int("nodes"), 2);
+}
+
+}  // namespace
+}  // namespace cycloid::util

@@ -1,0 +1,71 @@
+// Tests for the table printer used by every bench binary.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cycloid::util {
+namespace {
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(Table, CellsRoundTrip) {
+  Table t({"overlay", "n", "path"});
+  t.row().add("Cycloid-7").add(std::uint64_t{2048}).add(8.75, 2);
+  t.row().add("Viceroy").add(std::uint64_t{2048}).add(21.5, 2);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.cell(0, 0), "Cycloid-7");
+  EXPECT_EQ(t.cell(0, 1), "2048");
+  EXPECT_EQ(t.cell(0, 2), "8.75");
+  EXPECT_EQ(t.cell(1, 2), "21.50");
+}
+
+TEST(Table, MeanPercentileCell) {
+  Table t({"timeouts"});
+  t.row().add_mean_p1_p99(5.96, 0, 24, 2);
+  EXPECT_EQ(t.cell(0, 0), "5.96 (0.00, 24.00)");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"a", "bbbb"});
+  t.row().add("xxxxxx").add("y");
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  // Header line, rule line, one data row.
+  EXPECT_NE(text.find("a       bbbb"), std::string::npos);
+  EXPECT_NE(text.find("xxxxxx  y"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, StreamOperator) {
+  Table t({"col"});
+  t.row().add(1);
+  std::ostringstream out;
+  out << t;
+  EXPECT_NE(out.str().find("col"), std::string::npos);
+  EXPECT_NE(out.str().find('1'), std::string::npos);
+}
+
+TEST(Table, IntegerOverloads) {
+  Table t({"a", "b", "c"});
+  t.row().add(-5).add(std::int64_t{-7}).add(std::uint64_t{9});
+  EXPECT_EQ(t.cell(0, 0), "-5");
+  EXPECT_EQ(t.cell(0, 1), "-7");
+  EXPECT_EQ(t.cell(0, 2), "9");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream out;
+  print_banner(out, "Fig. 5: path length");
+  EXPECT_NE(out.str().find("== Fig. 5: path length =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cycloid::util
