@@ -13,15 +13,14 @@
 #include "exp/workloads.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "ablation_key_assignment",
+                       "Ablation: key-assignment policy vs load balance");
+  if (report.done()) return report.exit_code();
 
   const std::uint64_t keys = bench::env_u64("CYCLOID_BENCH_KEYS", 100000);
 
-  util::print_banner(
-      std::cout,
-      "Ablation: key-assignment policy vs occupancy (p99/mean keys per "
-      "node, " + std::to_string(keys) + " keys, 2048-position space)");
   util::Table table({"occupancy", "nodes",
                      "Cycloid (closest, 2-D)", "Pastry (closest, 1-D)",
                      "Chord (successor)", "Koorde (successor)"});
@@ -42,12 +41,15 @@ int main() {
       table.add(per_node.p99() / per_node.mean(), 2);
     }
   }
-  std::cout << table;
-  std::cout << "\n(expected shape: successor policies degrade as occupancy\n"
-               " falls — a node inherits its dead neighbours' whole ranges —\n"
-               " while closest-node policies split each gap in half. The 2-D\n"
-               " split helps Cycloid at moderate occupancy; at very low\n"
-               " occupancy its local cycles fragment and the plain 1-D\n"
-               " closest rule catches up.)\n";
+  report.section(
+      "Ablation: key-assignment policy vs occupancy (p99/mean keys per "
+      "node, " + std::to_string(keys) + " keys, 2048-position space)",
+      table);
+  report.note("\n(expected shape: successor policies degrade as occupancy\n"
+              " falls — a node inherits its dead neighbours' whole ranges —\n"
+              " while closest-node policies split each gap in half. The 2-D\n"
+              " split helps Cycloid at moderate occupancy; at very low\n"
+              " occupancy its local cycles fragment and the plain 1-D\n"
+              " closest rule catches up.)\n");
   return 0;
 }

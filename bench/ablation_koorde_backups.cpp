@@ -12,15 +12,15 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "ablation_koorde_backups",
+                       "Ablation: Koorde de Bruijn backup count");
+  if (report.done()) return report.exit_code();
 
   const int bits = 11;  // 2048-id ring
   const auto lookups = bench::env_u64("CYCLOID_BENCH_ABLATION_LOOKUPS", 10000);
 
-  util::print_banner(std::cout,
-                     "Ablation: Koorde de Bruijn backups vs lookup failures "
-                     "(2048-node ring, graceful mass departure)");
   util::Table table({"backups", "entries/node", "failures @ p=0.3",
                      "failures @ p=0.5", "mean timeouts @ p=0.5"});
 
@@ -49,9 +49,12 @@ int main() {
         .add(failures_05)
         .add(timeouts_05, 2);
   }
-  std::cout << table;
-  std::cout << "\n(failure probability per de Bruijn hop ~ p^(backups+1):\n"
-               " each extra backup buys roughly a p-fold reduction, at the\n"
-               " price of one more routing entry per node)\n";
+  report.section(
+      "Ablation: Koorde de Bruijn backups vs lookup failures "
+      "(2048-node ring, graceful mass departure)",
+      table);
+  report.note("\n(failure probability per de Bruijn hop ~ p^(backups+1):\n"
+              " each extra backup buys roughly a p-fold reduction, at the\n"
+              " price of one more routing entry per node)\n");
   return 0;
 }

@@ -12,14 +12,15 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "ablation_koorde_degree",
+                       "Ablation: Koorde de Bruijn degree trade-off");
+  if (report.done()) return report.exit_code();
 
   const int bits = 12;  // 4096-id ring (12 is divisible by b = 1, 2, 3)
   const auto lookups = bench::env_u64("CYCLOID_BENCH_ABLATION_LOOKUPS", 20000);
 
-  util::print_banner(std::cout,
-                     "Ablation: Koorde de Bruijn degree (2^b), 4096-id ring");
   util::Table table({"degree", "b", "mean path (dense)",
                      "de Bruijn % (dense)", "mean path (50% full)"});
 
@@ -61,11 +62,12 @@ int main() {
         .add(dense_db_share, 1)
         .add(sparse_path, 2);
   }
-  std::cout << table;
-  std::cout << "\n(de Bruijn steps shrink as bits/b but each step widens the\n"
-               " imaginary gap by a factor 2^b, costing ~(2^b - 1)/2 successor\n"
-               " hops to close: total ~ (bits/b)(1 + (2^b - 1)/2), minimized\n"
-               " near b = 2 unless extra per-digit pointers are kept — the\n"
-               " degree/hop trade-off the Cycloid paper credits Koorde with)\n";
+  report.section("Ablation: Koorde de Bruijn degree (2^b), 4096-id ring",
+                 table);
+  report.note("\n(de Bruijn steps shrink as bits/b but each step widens the\n"
+              " imaginary gap by a factor 2^b, costing ~(2^b - 1)/2 successor\n"
+              " hops to close: total ~ (bits/b)(1 + (2^b - 1)/2), minimized\n"
+              " near b = 2 unless extra per-digit pointers are kept — the\n"
+              " degree/hop trade-off the Cycloid paper credits Koorde with)\n");
   return 0;
 }

@@ -8,15 +8,15 @@
 #include "exp/workloads.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "ablation_leafset",
+                       "Ablation: Cycloid leaf-set width trade-off");
+  if (report.done()) return report.exit_code();
 
   const int d = 8;
   const auto lookups = bench::env_u64("CYCLOID_BENCH_ABLATION_LOOKUPS", 20000);
 
-  util::print_banner(std::cout,
-                     "Ablation: Cycloid leaf-set width (complete d=8 "
-                     "network, 2048 nodes)");
   util::Table table({"variant", "entries/node", "mean path",
                      "mean path @ p=0.3 departed", "timeouts @ p=0.3"});
   for (const int width : {1, 2, 3, 4}) {
@@ -38,8 +38,10 @@ int main() {
         .add(failed.mean_path(), 2)
         .add(failed.mean_timeouts(), 2);
   }
-  std::cout << table;
-  std::cout << "\n(the 7 -> 11 entry step buys most of the hop reduction;\n"
-               " wider sets mainly harden the network against departures)\n";
+  report.section(
+      "Ablation: Cycloid leaf-set width (complete d=8 network, 2048 nodes)",
+      table);
+  report.note("\n(the 7 -> 11 entry step buys most of the hop reduction;\n"
+              " wider sets mainly harden the network against departures)\n");
   return 0;
 }

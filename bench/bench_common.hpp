@@ -5,11 +5,18 @@
 // only on topology, so they are directly comparable to the paper; sample
 // sizes are capped (CYCLOID_BENCH_LOOKUP_CAP) because the means converge
 // long before the paper's full n^2/4 lookup workload.
+//
+// Every binary also understands `--json <path>` (see Report below): the same
+// sections it prints as text are dumped as one JSON document, so plots and
+// regression diffs do not have to scrape the fixed-width tables.
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <vector>
+
+#include "util/table.hpp"
 
 namespace cycloid::bench {
 
@@ -22,11 +29,18 @@ inline double lookup_scale_for(std::uint64_t n, std::uint64_t cap) {
              : static_cast<double>(cap) / full;
 }
 
+/// Strict base-10 parse of `value` into `out`. The whole string must be
+/// digits (no sign, no whitespace, no trailing junk) and fit in 64 bits.
+bool parse_u64(const char* value, std::uint64_t& out);
+
 /// Env-var override (integer) with default; lets CI shrink or grow runs.
+/// Unset, empty, or malformed values (trailing junk, signs, overflow) fall
+/// back to the default instead of silently truncating to garbage.
 inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  return static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
+  std::uint64_t parsed = 0;
+  if (value == nullptr || !parse_u64(value, parsed)) return fallback;
+  return parsed;
 }
 
 /// Default lookup cap per experiment cell.
@@ -34,12 +48,56 @@ inline std::uint64_t lookup_cap() {
   return env_u64("CYCLOID_BENCH_LOOKUP_CAP", 100000);
 }
 
-/// Worker threads for cell-parallel experiments (results are identical at
-/// any thread count; see util::parallel_for). Override with
-/// CYCLOID_BENCH_THREADS.
+/// Worker threads for parallel experiments (results are identical at any
+/// thread count; see exp::run_lookup_batch / util::parallel_for). Override
+/// with CYCLOID_BENCH_THREADS.
 int threads();
 
 /// Fixed seed: every bench prints identical tables run to run.
 inline constexpr std::uint64_t kBenchSeed = 0xC1C101DULL;
+
+/// Uniform output layer for the bench binaries.
+///
+/// Parses the shared command line (`--json <path>`, `--help`), echoes every
+/// section to stdout exactly as before, and — when `--json` was given —
+/// writes all sections as one JSON document on destruction. Numeric-looking
+/// cells are emitted as JSON numbers, everything else as strings.
+class Report {
+ public:
+  /// Parses argv. When done() is true afterwards (help or a bad option),
+  /// main should immediately return exit_code().
+  Report(int argc, const char* const* argv, std::string program,
+         std::string description);
+  ~Report();
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  bool done() const noexcept { return done_; }
+  int exit_code() const noexcept { return exit_code_; }
+
+  /// Print the banner + table to stdout and record them for the JSON dump.
+  void section(const std::string& title, const util::Table& table);
+
+  /// Print free-form text to stdout and record it under "notes".
+  void note(const std::string& text);
+
+ private:
+  struct Section {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  void write_json() const;
+
+  std::string program_;
+  std::string description_;
+  std::string json_path_;
+  std::vector<Section> sections_;
+  std::vector<std::string> notes_;
+  bool done_ = false;
+  int exit_code_ = 0;
+};
 
 }  // namespace cycloid::bench

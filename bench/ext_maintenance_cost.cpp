@@ -14,16 +14,16 @@
 #include "util/table.hpp"
 #include "viceroy/viceroy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "ext_maintenance_cost",
+                       "Extension: maintenance overhead per membership event");
+  if (report.done()) return report.exit_code();
 
   const int d = 8;  // 2048-position identifier space
   const std::size_t count = 1600;  // leave room for joins
   const int events = 200;
 
-  util::print_banner(std::cout,
-                     "Extension: maintenance overhead (state updates per "
-                     "membership event, 1600-node networks)");
   util::Table table({"overlay", "updates/join", "updates/leave",
                      "updates/stabilization pass"});
 
@@ -61,13 +61,15 @@ int main() {
         .add(per_leave, 1)
         .add(per_stabilize, 1);
   }
-  std::cout << table;
-  std::cout
-      << "\n(paper shape: Viceroy pays the most per membership event — it\n"
-         " must repair incoming links, including every node whose down/up\n"
-         " pointer resolves to the newcomer; Cycloid's joins touch only\n"
-         " its leaf-set neighbourhood, deferring the rest to stabilization;\n"
-         " Chord/Koorde touch a few ring neighbours. Viceroy and CAN report\n"
-         " 0 for stabilization because their repair is eager.)\n";
+  report.section(
+      "Extension: maintenance overhead (state updates per "
+      "membership event, 1600-node networks)",
+      table);
+  report.note("\n(paper shape: Viceroy pays the most per membership event — it\n"
+              " must repair incoming links, including every node whose down/up\n"
+              " pointer resolves to the newcomer; Cycloid's joins touch only\n"
+              " its leaf-set neighbourhood, deferring the rest to stabilization;\n"
+              " Chord/Koorde touch a few ring neighbours. Viceroy and CAN report\n"
+              " 0 for stabilization because their repair is eager.)\n");
   return 0;
 }

@@ -15,16 +15,16 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "ext_proximity_selection",
+                       "Extension: proximity-aware cubical-neighbour selection");
+  if (report.done()) return report.exit_code();
   using ccc::CycloidNetwork;
   using ccc::NeighborSelection;
 
   const auto lookups = bench::env_u64("CYCLOID_BENCH_PNS_LOOKUPS", 20000);
 
-  util::print_banner(std::cout,
-                     "Extension: proximity-aware cubical-neighbour selection "
-                     "(complete networks, latency = torus distance)");
   util::Table table({"n", "policy", "mean hops", "mean route latency",
                      "latency/hop"});
 
@@ -52,10 +52,13 @@ int main() {
           .add(latency.mean() / hops.mean(), 3);
     }
   }
-  std::cout << table;
-  std::cout << "\n(expected shape: hop counts match to within noise — any\n"
-               " pattern candidate extends the prefix equally — while the\n"
-               " proximity policy shortens the cubical hops, cutting total\n"
-               " route latency; random hops on a unit torus average ~0.38)\n";
+  report.section(
+      "Extension: proximity-aware cubical-neighbour selection "
+      "(complete networks, latency = torus distance)",
+      table);
+  report.note("\n(expected shape: hop counts match to within noise — any\n"
+              " pattern candidate extends the prefix equally — while the\n"
+              " proximity policy shortens the cubical hops, cutting total\n"
+              " route latency; random hops on a unit torus average ~0.38)\n");
   return 0;
 }

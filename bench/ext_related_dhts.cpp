@@ -10,12 +10,12 @@
 #include "exp/experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "ext_related_dhts",
+                       "Extension: path lengths including Pastry and CAN");
+  if (report.done()) return report.exit_code();
 
-  util::print_banner(std::cout,
-                     "Extension: path lengths including Pastry and CAN "
-                     "(complete networks, n = d * 2^d)");
   util::Table table({"n", "Cycloid-7", "Chord", "Pastry", "CAN (2-d)",
                      "sqrt(n)/2 (CAN model)"});
 
@@ -32,9 +32,12 @@ int main() {
     for (const auto& row : rows) table.add(row.mean_path, 2);
     table.add(std::sqrt(static_cast<double>(n)) / 2.0, 2);
   }
-  std::cout << table;
-  std::cout << "\n(Table 1 shape: Pastry tracks Chord's O(log n); CAN grows\n"
-               " as O(n^(1/2)) for two dimensions and overtakes every\n"
-               " logarithmic system as n grows; Cycloid stays O(d))\n";
+  report.section(
+      "Extension: path lengths including Pastry and CAN "
+      "(complete networks, n = d * 2^d)",
+      table);
+  report.note("\n(Table 1 shape: Pastry tracks Chord's O(log n); CAN grows\n"
+              " as O(n^(1/2)) for two dimensions and overtakes every\n"
+              " logarithmic system as n grows; Cycloid stays O(d))\n");
   return 0;
 }

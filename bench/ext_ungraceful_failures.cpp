@@ -13,8 +13,11 @@
 #include "exp/experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "ext_ungraceful_failures",
+                       "Extension: lookups after ungraceful departures");
+  if (report.done()) return report.exit_code();
 
   const auto lookups = bench::env_u64("CYCLOID_BENCH_FAILURE_LOOKUPS", 10000);
   const std::vector<double> probabilities = {0.1, 0.2, 0.3, 0.4, 0.5};
@@ -28,9 +31,6 @@ int main() {
   const auto rows = exp::run_ungraceful_experiment(
       kinds, 8, probabilities, lookups, bench::kBenchSeed, bench::threads());
 
-  util::print_banner(std::cout,
-                     "Extension: ungraceful departures, failed lookups of " +
-                         std::to_string(lookups) + " (before stabilization)");
   {
     util::Table table({"p", "Cycloid-7", "Cycloid-11", "Chord", "Koorde",
                        "Pastry"});
@@ -44,10 +44,11 @@ int main() {
         }
       }
     }
-    std::cout << table;
+    report.section("Extension: ungraceful departures, failed lookups of " +
+                       std::to_string(lookups) + " (before stabilization)",
+                   table);
   }
 
-  util::print_banner(std::cout, "Mean timeouts per lookup (stale state)");
   {
     util::Table table({"p", "Cycloid-7", "Cycloid-11", "Chord", "Koorde",
                        "Pastry"});
@@ -61,11 +62,9 @@ int main() {
         }
       }
     }
-    std::cout << table;
+    report.section("Mean timeouts per lookup (stale state)", table);
   }
 
-  util::print_banner(std::cout,
-                     "Failed lookups after one stabilization pass");
   {
     util::Table table({"p", "Cycloid-7", "Cycloid-11", "Chord", "Koorde",
                        "Pastry"});
@@ -79,11 +78,11 @@ int main() {
         }
       }
     }
-    std::cout << table;
+    report.section("Failed lookups after one stabilization pass", table);
   }
 
-  std::cout << "\n(expected shape: without warning, every DHT loses lookups\n"
-               " at high p; wider leaf sets (Cycloid-11) and successor lists\n"
-               " reduce the damage; stabilization restores full service)\n";
+  report.note("\n(expected shape: without warning, every DHT loses lookups\n"
+              " at high p; wider leaf sets (Cycloid-11) and successor lists\n"
+              " reduce the damage; stabilization restores full service)\n");
   return 0;
 }

@@ -13,8 +13,11 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "ext_unstructured_search",
+                       "Extension: structured vs unstructured search cost");
+  if (report.done()) return report.exit_code();
 
   const std::size_t peers = 2048;
   const std::uint64_t queries =
@@ -22,9 +25,6 @@ int main() {
   util::Rng rng(bench::kBenchSeed);
   auto net = unstructured::UnstructuredNetwork::build_random(peers, 4, rng);
 
-  util::print_banner(std::cout,
-                     "Extension: search cost, unstructured (2048 peers, "
-                     "degree 4) vs Cycloid DHT");
   util::Table table({"method", "replication", "success %", "mean msgs/query",
                      "dup msgs/query", "mean hops to hit"});
 
@@ -88,11 +88,14 @@ int main() {
         .add(stats.mean_path(), 2);
   }
 
-  std::cout << table;
-  std::cout << "\n(paper Sec. 2 shape: flooding costs thousands of messages\n"
-               " per query and still misses rare objects at bounded TTL;\n"
-               " random walkers cut the cost ~an order of magnitude but\n"
-               " stay in the hundreds without a guarantee; the DHT locates\n"
-               " every key in O(d) messages deterministically)\n";
+  report.section(
+      "Extension: search cost, unstructured (2048 peers, degree 4) vs "
+      "Cycloid DHT",
+      table);
+  report.note("\n(paper Sec. 2 shape: flooding costs thousands of messages\n"
+              " per query and still misses rare objects at bounded TTL;\n"
+              " random walkers cut the cost ~an order of magnitude but\n"
+              " stay in the hundreds without a guarantee; the DHT locates\n"
+              " every key in O(d) messages deterministically)\n");
   return 0;
 }

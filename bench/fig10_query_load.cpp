@@ -7,17 +7,18 @@
 #include "exp/experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "fig10_query_load",
+                       "Fig. 10: query-load balance across nodes");
+  if (report.done()) return report.exit_code();
 
   const std::uint64_t cap = bench::lookup_cap();
   for (const int d : {4, 8}) {
     const std::uint64_t n = static_cast<std::uint64_t>(d) << d;
-    util::print_banner(std::cout, "Fig. 10: query load, network of " +
-                                      std::to_string(n) + " nodes");
-    const auto rows =
-        exp::run_query_load(exp::all_overlays(), {d},
-                            bench::lookup_scale_for(n, cap), bench::kBenchSeed);
+    const auto rows = exp::run_query_load(
+        exp::all_overlays(), {d}, bench::lookup_scale_for(n, cap),
+        bench::kBenchSeed, bench::threads());
     util::Table table(
         {"overlay", "lookups", "mean", "1st pct", "99th pct", "stddev"});
     for (const auto& row : rows) {
@@ -29,10 +30,12 @@ int main() {
           .add(row.p99, 0)
           .add(row.stddev, 2);
     }
-    std::cout << table;
+    report.section(
+        "Fig. 10: query load, network of " + std::to_string(n) + " nodes",
+        table);
   }
-  std::cout << "\n(paper shape: Cycloid shows the smallest spread of the\n"
-               " constant-degree DHTs; Viceroy's low-level nodes and\n"
-               " Koorde's even-ID nodes become hot spots)\n";
+  report.note("\n(paper shape: Cycloid shows the smallest spread of the\n"
+              " constant-degree DHTs; Viceroy's low-level nodes and\n"
+              " Koorde's even-ID nodes become hot spots)\n");
   return 0;
 }

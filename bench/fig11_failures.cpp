@@ -9,8 +9,12 @@
 #include "exp/experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "fig11_failures",
+                       "Fig. 11 + Table 4: lookups after massive "
+                       "simultaneous departures");
+  if (report.done()) return report.exit_code();
 
   const auto lookups = bench::env_u64("CYCLOID_BENCH_FAILURE_LOOKUPS", 10000);
   const std::vector<double> probabilities = {0.1, 0.2, 0.3, 0.4, 0.5};
@@ -18,9 +22,6 @@ int main() {
       exp::all_overlays(), 8, probabilities, lookups, bench::kBenchSeed,
       bench::threads());
 
-  util::print_banner(std::cout,
-                     "Fig. 11: path lengths with simultaneous departures "
-                     "(2048-node network, no stabilization)");
   {
     util::Table table({"p", "Cycloid-7", "Cycloid-11", "Viceroy", "Chord",
                        "Koorde"});
@@ -28,17 +29,19 @@ int main() {
       table.row().add(probabilities[pi], 1);
       for (const exp::OverlayKind kind : exp::all_overlays()) {
         for (const auto& row : rows) {
-          if (row.kind == kind && row.departure_probability == probabilities[pi]) {
+          if (row.kind == kind &&
+              row.departure_probability == probabilities[pi]) {
             table.add(row.mean_path, 2);
           }
         }
       }
     }
-    std::cout << table;
+    report.section(
+        "Fig. 11: path lengths with simultaneous departures "
+        "(2048-node network, no stabilization)",
+        table);
   }
 
-  util::print_banner(std::cout,
-                     "Table 4: timeouts per lookup, mean (1st, 99th pct)");
   {
     util::Table table({"p", "Cycloid-7", "Cycloid-11", "Viceroy", "Chord",
                        "Koorde"});
@@ -46,18 +49,18 @@ int main() {
       table.row().add(probabilities[pi], 1);
       for (const exp::OverlayKind kind : exp::all_overlays()) {
         for (const auto& row : rows) {
-          if (row.kind == kind && row.departure_probability == probabilities[pi]) {
+          if (row.kind == kind &&
+              row.departure_probability == probabilities[pi]) {
             table.add_mean_p1_p99(row.mean_timeouts, row.timeouts_p1,
                                   row.timeouts_p99, 2);
           }
         }
       }
     }
-    std::cout << table;
+    report.section("Table 4: timeouts per lookup, mean (1st, 99th pct)",
+                   table);
   }
 
-  util::print_banner(std::cout, "Lookup failures (of " +
-                                    std::to_string(lookups) + " lookups)");
   {
     util::Table table({"p", "Cycloid-7", "Cycloid-11", "Viceroy", "Chord",
                        "Koorde"});
@@ -65,17 +68,20 @@ int main() {
       table.row().add(probabilities[pi], 1);
       for (const exp::OverlayKind kind : exp::all_overlays()) {
         for (const auto& row : rows) {
-          if (row.kind == kind && row.departure_probability == probabilities[pi]) {
+          if (row.kind == kind &&
+              row.departure_probability == probabilities[pi]) {
             table.add(row.failures);
           }
         }
       }
     }
-    std::cout << table;
+    report.section(
+        "Lookup failures (of " + std::to_string(lookups) + " lookups)",
+        table);
   }
 
-  std::cout << "\n(paper shape: Cycloid/Chord timeouts grow with p, zero\n"
-               " failures; Viceroy zero timeouts and path *decreasing* in p;\n"
-               " Koorde few timeouts but failures appearing at p >= 0.3)\n";
+  report.note("\n(paper shape: Cycloid/Chord timeouts grow with p, zero\n"
+              " failures; Viceroy zero timeouts and path *decreasing* in p;\n"
+              " Koorde few timeouts but failures appearing at p >= 0.3)\n");
   return 0;
 }

@@ -9,8 +9,11 @@
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "fig12_churn",
+                       "Fig. 12 + Table 5: lookups during continuous churn");
+  if (report.done()) return report.exit_code();
 
   const auto duration = static_cast<double>(
       bench::env_u64("CYCLOID_BENCH_CHURN_SECONDS", 3000));
@@ -33,11 +36,6 @@ int main() {
                                         duration, 30.0, bench::kBenchSeed);
   });
 
-  util::print_banner(std::cout,
-                     "Fig. 12: path lengths under churn (2048-node start, "
-                     "stabilization every 30 s, " +
-                         std::to_string(static_cast<int>(duration)) +
-                         " virtual seconds per cell)");
   {
     util::Table table({"R (joins/s = leaves/s)", "Cycloid-7", "Cycloid-11",
                        "Viceroy", "Chord", "Koorde"});
@@ -51,11 +49,13 @@ int main() {
         }
       }
     }
-    std::cout << table;
+    report.section("Fig. 12: path lengths under churn (2048-node start, "
+                   "stabilization every 30 s, " +
+                       std::to_string(static_cast<int>(duration)) +
+                       " virtual seconds per cell)",
+                   table);
   }
 
-  util::print_banner(std::cout,
-                     "Table 5: timeouts per lookup, mean (1st, 99th pct)");
   {
     util::Table table({"R", "Cycloid-7", "Cycloid-11", "Viceroy", "Chord",
                        "Koorde"});
@@ -70,14 +70,16 @@ int main() {
         }
       }
     }
-    std::cout << table;
+    report.section("Table 5: timeouts per lookup, mean (1st, 99th pct)",
+                   table);
   }
 
   std::uint64_t failures = 0;
   for (const auto& row : rows) failures += row.failures;
-  std::cout << "\nTotal lookup failures across all cells: " << failures
-            << " (paper: none in all test cases)\n";
-  std::cout << "(paper shape: path lengths flat in R; stabilization removes\n"
-               " the majority of timeouts; Viceroy has none)\n";
+  report.note("\nTotal lookup failures across all cells: " +
+              std::to_string(failures) +
+              " (paper: none in all test cases)\n");
+  report.note("(paper shape: path lengths flat in R; stabilization removes\n"
+              " the majority of timeouts; Viceroy has none)\n");
   return 0;
 }

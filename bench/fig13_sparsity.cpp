@@ -6,8 +6,11 @@
 #include "exp/experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "fig13_sparsity",
+                       "Fig. 13: path length vs degree of network sparsity");
+  if (report.done()) return report.exit_code();
 
   const auto lookups = bench::env_u64("CYCLOID_BENCH_SPARSITY_LOOKUPS", 10000);
   const std::vector<double> sparsities = {0.0,   0.125, 0.25, 0.375,
@@ -16,9 +19,6 @@ int main() {
       exp::all_overlays(), 8, sparsities, lookups, bench::kBenchSeed,
       bench::threads());
 
-  util::print_banner(std::cout,
-                     "Fig. 13: path length vs degree of network sparsity "
-                     "(2048-position ID space)");
   util::Table table({"sparsity", "nodes", "Cycloid-7", "Cycloid-11",
                      "Viceroy", "Chord", "Koorde"});
   for (const double s : sparsities) {
@@ -35,14 +35,17 @@ int main() {
       }
     }
   }
-  std::cout << table;
+  report.section(
+      "Fig. 13: path length vs degree of network sparsity "
+      "(2048-position ID space)",
+      table);
 
   std::uint64_t failures = 0;
   for (const auto& row : rows) failures += row.failures;
-  std::cout << "\nLookup failures across all cells: " << failures
-            << " (paper: none)\n";
-  std::cout << "(paper shape: Cycloid's path length slightly decreases with\n"
-               " sparsity; Koorde's increases as successor walks lengthen;\n"
-               " Viceroy is indifferent — its ID space is never full)\n";
+  report.note("\nLookup failures across all cells: " +
+              std::to_string(failures) + " (paper: none)\n");
+  report.note("(paper shape: Cycloid's path length slightly decreases with\n"
+              " sparsity; Koorde's increases as successor walks lengthen;\n"
+              " Viceroy is indifferent — its ID space is never full)\n");
   return 0;
 }

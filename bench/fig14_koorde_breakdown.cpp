@@ -8,8 +8,11 @@
 #include "koorde/koorde.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "fig14_koorde_breakdown",
+                       "Fig. 14: Koorde path breakdown vs network sparsity");
+  if (report.done()) return report.exit_code();
 
   const auto lookups = bench::env_u64("CYCLOID_BENCH_SPARSITY_LOOKUPS", 10000);
   const std::vector<double> sparsities = {0.0,   0.125, 0.25, 0.375,
@@ -18,8 +21,6 @@ int main() {
       {exp::OverlayKind::kKoorde}, 8, sparsities, lookups,
       bench::kBenchSeed + 14);
 
-  util::print_banner(std::cout,
-                     "Fig. 14: Koorde path breakdown vs network sparsity");
   util::Table table({"sparsity", "nodes", "mean path", "de Bruijn %",
                      "successor %"});
   for (const auto& row : rows) {
@@ -31,8 +32,8 @@ int main() {
         .add(100.0 * row.phase_fractions[koorde::KoordeNetwork::kSuccessor],
              1);
   }
-  std::cout << table;
-  std::cout << "\n(paper shape: the successor share rises monotonically with\n"
-               " sparsity while the de Bruijn share falls)\n";
+  report.section("Fig. 14: Koorde path breakdown vs network sparsity", table);
+  report.note("\n(paper shape: the successor share rises monotonically with\n"
+              " sparsity while the de Bruijn share falls)\n");
   return 0;
 }

@@ -6,11 +6,13 @@
 #include "exp/experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "fig5_path_length",
+                       "Fig. 5: path length of lookup requests vs network "
+                       "size");
+  if (report.done()) return report.exit_code();
 
-  util::print_banner(std::cout,
-                     "Fig. 5: path length of lookup requests vs network size");
   util::Table table(
       {"n", "d", "Cycloid-7", "Cycloid-11", "Viceroy", "Chord", "Koorde"});
 
@@ -29,9 +31,10 @@ int main() {
       }
     }
   }
-  std::cout << table;
-  std::cout << "\n(paper shape: Viceroy > 2x Cycloid at every size; Cycloid\n"
-               " is the shortest constant-degree DHT; lookups = min(n^2/4, "
-            << bench::lookup_cap() << ") per cell)\n";
+  report.section("Fig. 5: path length of lookup requests vs network size",
+                 table);
+  report.note("\n(paper shape: Viceroy > 2x Cycloid at every size; Cycloid\n"
+              " is the shortest constant-degree DHT; lookups = min(n^2/4, " +
+              std::to_string(bench::lookup_cap()) + ") per cell)\n");
   return 0;
 }

@@ -9,8 +9,12 @@
 #include "exp/experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "fig7_breakdown",
+                       "Fig. 7: breakdown of the lookup path by routing "
+                       "phase");
+  if (report.done()) return report.exit_code();
 
   const std::uint64_t cap = bench::lookup_cap();
   const auto run_kind = [&](exp::OverlayKind kind) {
@@ -18,15 +22,15 @@ int main() {
     for (const int d : {3, 4, 5, 6, 7, 8}) {
       const std::uint64_t n = static_cast<std::uint64_t>(d) << d;
       auto r = exp::run_dense_path_lengths(
-          {kind}, {d}, bench::lookup_scale_for(n, cap), bench::kBenchSeed + 7);
+          {kind}, {d}, bench::lookup_scale_for(n, cap), bench::kBenchSeed + 7,
+          bench::threads());
       rows.push_back(r.front());
     }
     return rows;
   };
 
-  const auto print_breakdown = [&](const char* title,
-                                   const std::vector<exp::PathLengthRow>& rows) {
-    util::print_banner(std::cout, title);
+  const auto breakdown = [&](const char* title,
+                             const std::vector<exp::PathLengthRow>& rows) {
     std::vector<std::string> headers = {"n", "mean path"};
     for (const auto& name : rows.front().phase_names) {
       headers.push_back(name + " %");
@@ -38,18 +42,18 @@ int main() {
         table.add(100.0 * row.phase_fractions[p], 1);
       }
     }
-    std::cout << table;
+    report.section(title, table);
   };
 
-  print_breakdown("Fig. 7(a): path length breakdown in Cycloid",
-                  run_kind(exp::OverlayKind::kCycloid7));
-  print_breakdown("Fig. 7(b): path length breakdown in Viceroy",
-                  run_kind(exp::OverlayKind::kViceroy));
-  print_breakdown("Fig. 7(c): path length breakdown in Koorde",
-                  run_kind(exp::OverlayKind::kKoorde));
+  breakdown("Fig. 7(a): path length breakdown in Cycloid",
+            run_kind(exp::OverlayKind::kCycloid7));
+  breakdown("Fig. 7(b): path length breakdown in Viceroy",
+            run_kind(exp::OverlayKind::kViceroy));
+  breakdown("Fig. 7(c): path length breakdown in Koorde",
+            run_kind(exp::OverlayKind::kKoorde));
 
-  std::cout << "\n(paper shape: Cycloid's ascending <= ~15% vs ~30% in\n"
-               " Viceroy; Viceroy spends >half in the traverse-ring phase;\n"
-               " Koorde's successor hops are ~30% when dense)\n";
+  report.note("\n(paper shape: Cycloid's ascending <= ~15% vs ~30% in\n"
+              " Viceroy; Viceroy spends >half in the traverse-ring phase;\n"
+              " Koorde's successor hops are ~30% when dense)\n");
   return 0;
 }

@@ -7,12 +7,15 @@
 #include "exp/experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "fig8_key_distribution",
+                       "Fig. 8: key distribution, 2000 nodes in a 2048-ID "
+                       "space (d=8)");
+  if (report.done()) return report.exit_code();
 
-  util::print_banner(
-      std::cout,
-      "Fig. 8: key distribution, 2000 nodes in a 2048-ID space (d=8)");
+  util::print_banner(std::cout,
+                     "Fig. 8: key distribution, 2000 nodes in a 2048-ID space (d=8)");
 
   std::vector<std::uint64_t> key_counts;
   for (std::uint64_t k = 10000; k <= 100000; k += 10000) {
@@ -25,17 +28,16 @@ int main() {
       exp::run_key_distribution(kinds, 8, 2000, key_counts, bench::kBenchSeed);
 
   for (const exp::OverlayKind kind : kinds) {
-    util::print_banner(std::cout, exp::overlay_label(kind));
     util::Table table({"keys", "mean", "1st pct", "99th pct"});
     for (const auto& row : rows) {
       if (row.kind != kind) continue;
       table.row().add(row.keys).add(row.mean, 2).add(row.p1, 0).add(row.p99,
                                                                     0);
     }
-    std::cout << table;
+    report.section(exp::overlay_label(kind), table);
   }
-  std::cout << "\n(paper shape: Cycloid ~= Koorde ~= Chord; Viceroy's 99th\n"
-               " percentile is several times larger because its real-number\n"
-               " ID space leaves wide successor gaps)\n";
+  report.note("\n(paper shape: Cycloid ~= Koorde ~= Chord; Viceroy's 99th\n"
+              " percentile is several times larger because its real-number\n"
+              " ID space leaves wide successor gaps)\n");
   return 0;
 }

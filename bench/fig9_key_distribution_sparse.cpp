@@ -7,12 +7,15 @@
 #include "exp/experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cycloid;
+  bench::Report report(argc, argv, "fig9_key_distribution_sparse",
+                       "Fig. 9: key distribution, 1000 nodes in a 2048-ID "
+                       "space (d=8)");
+  if (report.done()) return report.exit_code();
 
-  util::print_banner(
-      std::cout,
-      "Fig. 9: key distribution, 1000 nodes in a 2048-ID space (d=8)");
+  util::print_banner(std::cout,
+                     "Fig. 9: key distribution, 1000 nodes in a 2048-ID space (d=8)");
 
   std::vector<std::uint64_t> key_counts;
   for (std::uint64_t k = 10000; k <= 100000; k += 10000) {
@@ -25,17 +28,16 @@ int main() {
                                               bench::kBenchSeed + 9);
 
   for (const exp::OverlayKind kind : kinds) {
-    util::print_banner(std::cout, exp::overlay_label(kind));
     util::Table table({"keys", "mean", "1st pct", "99th pct"});
     for (const auto& row : rows) {
       if (row.kind != kind) continue;
       table.row().add(row.keys).add(row.mean, 2).add(row.p1, 0).add(row.p99,
                                                                     0);
     }
-    std::cout << table;
+    report.section(exp::overlay_label(kind), table);
   }
-  std::cout << "\n(paper shape: in the sparse network Cycloid's 99th\n"
-               " percentile sits below Koorde's — the two-dimensional\n"
-               " closest-node rule splits each successor gap)\n";
+  report.note("\n(paper shape: in the sparse network Cycloid's 99th\n"
+              " percentile sits below Koorde's — the two-dimensional\n"
+              " closest-node rule splits each successor gap)\n");
   return 0;
 }

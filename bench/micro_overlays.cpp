@@ -4,6 +4,9 @@
 // hop-count experiments which measure the *protocols*.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "chord/chord.hpp"
 #include "core/network.hpp"
 #include "exp/overlays.hpp"
@@ -106,4 +109,32 @@ BENCHMARK(BM_ViceroyLookup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same `--json <path>` contract as the table benches (see bench::Report):
+// translated into google-benchmark's native JSON reporter; all other
+// arguments pass through to the benchmark library.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> passthrough;
+  passthrough.push_back(args.empty() ? "micro_overlays" : args[0]);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string path;
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      path = args[++i];
+    } else if (args[i].rfind("--json=", 0) == 0) {
+      path = args[i].substr(7);
+    } else {
+      passthrough.push_back(args[i]);
+      continue;
+    }
+    passthrough.push_back("--benchmark_out=" + path);
+    passthrough.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> c_args;
+  for (std::string& arg : passthrough) c_args.push_back(arg.data());
+  int c_argc = static_cast<int>(c_args.size());
+  benchmark::Initialize(&c_argc, c_args.data());
+  if (benchmark::ReportUnrecognizedArguments(c_argc, c_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

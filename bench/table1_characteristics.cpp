@@ -7,11 +7,13 @@
 #include "core/network.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using cycloid::util::Table;
+  cycloid::bench::Report report(argc, argv, "table1_characteristics",
+                                "Table 1: comparison of representative "
+                                "DHTs");
+  if (report.done()) return report.exit_code();
 
-  cycloid::util::print_banner(std::cout,
-                              "Table 1: comparison of representative DHTs");
   Table table({"System", "Base network", "Lookup complexity",
                "Routing table size"});
   table.row().add("Chord").add("Cycle").add("O(log n)").add("O(log n)");
@@ -24,11 +26,9 @@ int main() {
   table.row().add("Viceroy").add("Butterfly").add("O(log n)").add("7");
   table.row().add("Koorde").add("de Bruijn").add("O(log n)").add("2");
   table.row().add("Cycloid").add("CCC").add("O(d)").add("7");
-  std::cout << table;
+  report.section("Table 1: comparison of representative DHTs", table);
 
   // Cross-check: count the live routing entries our implementations hold.
-  cycloid::util::print_banner(
-      std::cout, "Measured per-node routing entries (this implementation)");
   Table measured({"System", "entries/node", "note"});
   {
     auto net = cycloid::ccc::CycloidNetwork::build_complete(6, 1);
@@ -59,6 +59,7 @@ int main() {
   measured.row().add("Koorde").add("7").add(
       "1 de Bruijn + 3 successors + 3 backups (paper Sec. 4)");
   measured.row().add("Chord").add("log n + 3").add("fingers + successors");
-  std::cout << measured;
+  report.section("Measured per-node routing entries (this implementation)",
+                 measured);
   return 0;
 }

@@ -2,20 +2,26 @@
 // eight-dimensional network, printed in the paper's notation.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/network.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using cycloid::ccc::CccId;
   using cycloid::ccc::CycloidNetwork;
   using cycloid::ccc::to_string;
   using cycloid::dht::kNoNode;
   using cycloid::dht::NodeHandle;
 
+  cycloid::bench::Report report(argc, argv, "table2_routing_state",
+                                "Table 2: routing state of Cycloid node "
+                                "(4, 10110110), d = 8");
+  if (report.done()) return report.exit_code();
+
   const int d = 8;
   auto net = CycloidNetwork::build_complete(d);
 
-  const auto dump = [&](const CccId& id) {
+  const auto dump = [&](const std::string& title, const CccId& id) {
     const auto& node = net->node_state(CycloidNetwork::handle_of(id));
     const auto show = [&](NodeHandle h) {
       return h == kNoNode ? std::string("-")
@@ -31,17 +37,15 @@ int main() {
                                            show(node.inside_succ[0]));
     table.row().add("Outside leaf set").add(show(node.outside_pred[0]) +
                                             "  " + show(node.outside_succ[0]));
-    std::cout << table;
+    report.section(title, table);
   };
 
-  cycloid::util::print_banner(
-      std::cout, "Table 2: routing state of node (4, 10110110), d = 8");
-  dump(CccId{4, 0b10110110});
-
-  cycloid::util::print_banner(
-      std::cout, "Additional states (cycle ends, paper Sec. 3.1 notes)");
-  dump(CccId{0, 0b10110110});  // cyclic index 0: no cubical/cyclic neighbors
-  dump(CccId{7, 0b00000000});  // primary node of cycle 0
-  dump(CccId{3, 0b11111111});  // cubical index 2^d - 1
+  dump("Table 2: routing state of node (4, 10110110), d = 8",
+       CccId{4, 0b10110110});
+  // Additional states (cycle ends, paper Sec. 3.1 notes):
+  dump("Node (0, 10110110): cyclic index 0, no cubical/cyclic neighbors",
+       CccId{0, 0b10110110});
+  dump("Node (7, 00000000): primary node of cycle 0", CccId{7, 0b00000000});
+  dump("Node (3, 11111111): cubical index 2^d - 1", CccId{3, 0b11111111});
   return 0;
 }

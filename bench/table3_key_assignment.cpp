@@ -9,11 +9,13 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using cycloid::util::Table;
+  cycloid::bench::Report report(argc, argv, "table3_key_assignment",
+                                "Table 3: node identification and key "
+                                "assignment");
+  if (report.done()) return report.exit_code();
 
-  cycloid::util::print_banner(
-      std::cout, "Table 3: node identification and key assignment");
   Table table({"", "Cycloid", "Viceroy", "Koorde"});
   table.row()
       .add("Base network")
@@ -36,11 +38,9 @@ int main() {
       .add("Numerically closest node")
       .add("Successor")
       .add("Successor");
-  std::cout << table;
+  report.section("Table 3: node identification and key assignment", table);
 
   // Demonstrate the assignment rules on one key in small networks.
-  cycloid::util::print_banner(std::cout,
-                              "Demonstration: where key hashes land");
   Table demo({"Overlay", "key hash (reduced)", "owner"});
   const std::uint64_t h = cycloid::hash::hash_name("cycloid-demo-key");
   {
@@ -73,6 +73,6 @@ int main() {
         .add(cycloid::util::format_double(cycloid::hash::reduce_unit(h), 6))
         .add("serial " + std::to_string(net->owner_of(h)));
   }
-  std::cout << demo;
+  report.section("Demonstration: where key hashes land", demo);
   return 0;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build and run the test suite, optionally under a sanitizer.
+#
+#   scripts/check.sh            # plain RelWithDebInfo build + ctest
+#   scripts/check.sh thread     # ThreadSanitizer build + ctest
+#   scripts/check.sh address    # AddressSanitizer + UBSan build + ctest
+#
+# Each mode uses its own build directory (build-check[-<sanitizer>]) so the
+# sanitized builds never pollute the regular one. Extra arguments after the
+# mode are passed to ctest (e.g. `scripts/check.sh thread -R ParallelLookup`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitize=""
+case "${1:-}" in
+  thread|address) sanitize="$1"; shift ;;
+esac
+build_dir="build-check${sanitize:+-$sanitize}"
+
+cmake -B "$build_dir" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCYCLOID_SANITIZE="$sanitize"
+cmake --build "$build_dir" -j "$(nproc)"
+
+# Surface every data race / report as a hard failure.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"

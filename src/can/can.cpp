@@ -164,7 +164,7 @@ void CanNetwork::relink(NodeHandle handle,
   CanNode* node = find(handle);
   CYCLOID_ASSERT(node != nullptr);
   // Every candidate is probed for adjacency: one exchange per candidate.
-  maintenance_updates_ += candidates.size();
+  note_maintenance(candidates.size());
   // Drop this node from its previous neighbours' sets, then re-evaluate
   // adjacency against the candidate set.
   for (const NodeHandle old : node->neighbors) {
@@ -318,9 +318,10 @@ NodeHandle CanNetwork::owner_of(dht::KeyHash key) const {
   return node_at(point_from_hash(key));
 }
 
-LookupResult CanNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+LookupResult CanNetwork::lookup(NodeHandle from, dht::KeyHash key,
+                                dht::LookupMetrics& sink) const {
   LookupResult result;
-  CanNode* cur = find(from);
+  const CanNode* cur = find(from);
   NodeHandle cur_handle = from;
   CYCLOID_EXPECTS(cur != nullptr);
   const Point target = point_from_hash(key);
@@ -338,13 +339,13 @@ LookupResult CanNetwork::lookup(NodeHandle from, dht::KeyHash key) {
     if (owns) break;
 
     NodeHandle best_handle = kNoNode;
-    CanNode* best = nullptr;
+    const CanNode* best = nullptr;
     const double cur_dist = node_distance2(*cur, target);
     double best_dist = cur_dist;
     NodeHandle side_handle = kNoNode;
-    CanNode* side = nullptr;
+    const CanNode* side = nullptr;
     for (const NodeHandle n : cur->neighbors) {
-      CanNode* cand = find(n);
+      const CanNode* cand = find(n);
       CYCLOID_ASSERT(cand != nullptr);  // adjacency is maintained eagerly
       const double dist = node_distance2(*cand, target);
       if (dist < best_dist) {
@@ -367,13 +368,14 @@ LookupResult CanNetwork::lookup(NodeHandle from, dht::KeyHash key) {
       break;
     }
     result.count_hop(kGreedy);
-    ++best->queries_received;
+    sink.count_query(best_handle);
     cur = best;
     cur_handle = best_handle;
     visited.push_back(best_handle);
   }
 
   result.destination = cur_handle;
+  sink.note(result);
   return result;
 }
 
@@ -434,18 +436,6 @@ void CanNetwork::stabilize_one(NodeHandle node) {
 
 void CanNetwork::stabilize_all() {
   for (const auto& [handle, node] : nodes_) coalesce(*node);
-}
-
-void CanNetwork::reset_query_load() {
-  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
-}
-
-std::vector<std::uint64_t> CanNetwork::query_loads() const {
-  std::vector<std::uint64_t> loads;
-  for (const NodeHandle h : node_handles()) {
-    loads.push_back(find(h)->queries_received);
-  }
-  return loads;
 }
 
 bool CanNetwork::check_invariants() const {

@@ -49,7 +49,6 @@ using Point = std::array<double, kMaxDims>;
 struct CanNode {
   std::vector<Zone> zones;               // usually one; more after takeovers
   std::set<dht::NodeHandle> neighbors;   // zone-contiguous nodes
-  std::uint64_t queries_received = 0;
 };
 
 class CanNetwork final : public dht::DhtNetwork {
@@ -89,18 +88,14 @@ class CanNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key) override;
+  using dht::DhtNetwork::lookup;
+  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
+                           dht::LookupMetrics& sink) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
   void stabilize_all() override;
-  void reset_query_load() override;
-  std::vector<std::uint64_t> query_loads() const override;
-  std::uint64_t maintenance_updates() const override {
-    return maintenance_updates_;
-  }
-  void reset_maintenance() override { maintenance_updates_ = 0; }
 
  private:
   CanNode* find(dht::NodeHandle handle);
@@ -131,7 +126,6 @@ class CanNetwork final : public dht::DhtNetwork {
   std::unordered_map<dht::NodeHandle, std::unique_ptr<CanNode>> nodes_;
   std::vector<dht::NodeHandle> handle_vec_;
   std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
-  mutable std::uint64_t maintenance_updates_ = 0;
 };
 
 }  // namespace cycloid::can

@@ -115,7 +115,7 @@ NodeHandle ChordNetwork::predecessor_of(std::uint64_t id) const {
   return it == ring_.begin() ? ring_.rbegin()->second : std::prev(it)->second;
 }
 
-void ChordNetwork::compute_state(ChordNode& node) const {
+void ChordNetwork::compute_state(ChordNode& node) {
   const ChordNode before = node;
   node.predecessor = predecessor_of(node.id);
 
@@ -136,7 +136,7 @@ void ChordNetwork::compute_state(ChordNode& node) const {
   if (node.predecessor != before.predecessor ||
       node.successors != before.successors ||
       node.fingers != before.fingers) {
-    ++maintenance_updates_;
+    note_maintenance();
   }
 }
 
@@ -162,7 +162,7 @@ void ChordNetwork::refresh_ring_around(std::uint64_t id) {
       walk = succ;
     }
     if (node->predecessor != old_pred || node->successors != old_successors) {
-      ++maintenance_updates_;
+      note_maintenance();
     }
     cursor = node->id;
   }
@@ -174,7 +174,7 @@ void ChordNetwork::refresh_ring_around(std::uint64_t id) {
     CYCLOID_ASSERT(node != nullptr);
     const NodeHandle old_pred = node->predecessor;
     node->predecessor = predecessor_of(node->id);
-    if (node->predecessor != old_pred) ++maintenance_updates_;
+    if (node->predecessor != old_pred) note_maintenance();
   }
 }
 
@@ -182,18 +182,19 @@ NodeHandle ChordNetwork::owner_of(dht::KeyHash key) const {
   return successor_of(key % space_size_);
 }
 
-LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key,
+                                  dht::LookupMetrics& sink) const {
   LookupResult result;
-  ChordNode* cur = find(from);
+  const ChordNode* cur = find(from);
   CYCLOID_EXPECTS(cur != nullptr);
   const std::uint64_t target = key % space_size_;
 
   // Distinct-departed-node timeout accounting (one timeout per departed
   // node encountered, paper Sec. 4.3).
   std::vector<NodeHandle> dead_seen;
-  const auto try_alive = [&](NodeHandle h) -> ChordNode* {
+  const auto try_alive = [&](NodeHandle h) -> const ChordNode* {
     if (h == kNoNode) return nullptr;
-    ChordNode* node = find(h);
+    const ChordNode* node = find(h);
     if (node == nullptr) {
       if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
           dead_seen.end()) {
@@ -205,9 +206,9 @@ LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key) {
     return node;
   };
 
-  const auto hop = [&](ChordNode* next, Phase phase) {
+  const auto hop = [&](const ChordNode* next, Phase phase) {
     result.count_hop(phase);
-    ++next->queries_received;
+    sink.count_query(next->id);
     cur = next;
   };
 
@@ -220,7 +221,7 @@ LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key) {
 
     // First live entry of the successor list (always the first entry after
     // graceful departures; later ones only after ungraceful ones).
-    ChordNode* succ = nullptr;
+    const ChordNode* succ = nullptr;
     for (const NodeHandle sh : cur->successors) {
       succ = try_alive(sh);
       if (succ != nullptr) break;
@@ -239,7 +240,7 @@ LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key) {
 
     // Greedy: highest finger in (cur, target); stale (departed) fingers
     // cost a timeout and are skipped.
-    ChordNode* next = nullptr;
+    const ChordNode* next = nullptr;
     for (int i = bits_ - 1; i >= 0; --i) {
       const NodeHandle fh = cur->fingers[static_cast<std::size_t>(i)];
       if (fh == kNoNode || fh == cur->id) continue;
@@ -247,7 +248,7 @@ LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key) {
                            space_size_)) {
         continue;  // finger not in (cur, target)
       }
-      ChordNode* cand = try_alive(fh);
+      const ChordNode* cand = try_alive(fh);
       if (cand == nullptr) continue;
       next = cand;
       break;
@@ -258,9 +259,9 @@ LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key) {
     }
 
     // All useful fingers dead or void: advance along the successor list.
-    ChordNode* best = nullptr;
+    const ChordNode* best = nullptr;
     for (const NodeHandle sh : cur->successors) {
-      ChordNode* cand = try_alive(sh);
+      const ChordNode* cand = try_alive(sh);
       if (cand == nullptr || cand->id == cur->id) continue;
       if (!in_half_open_cw(cand->id, cur->id,
                            (target + space_size_ - 1) % space_size_,
@@ -274,6 +275,7 @@ LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key) {
   }
 
   result.destination = cur->id;
+  sink.note(result);
   return result;
 }
 
@@ -300,7 +302,7 @@ void ChordNetwork::fail_simultaneously(double p, util::Rng& rng) {
   for (const NodeHandle handle : victims) unlink(handle);
   // Graceful departures repair the ring; fingers stay frozen.
   for (const auto& [handle, node] : nodes_) {
-    ++maintenance_updates_;  // mass graceful departure: everyone re-checks
+    note_maintenance();  // mass graceful departure: everyone re-checks
     node->predecessor = predecessor_of(node->id);
     node->successors.clear();
     std::uint64_t walk = node->id;
@@ -332,19 +334,6 @@ void ChordNetwork::stabilize_one(NodeHandle node) {
 
 void ChordNetwork::stabilize_all() {
   for (const auto& [handle, node] : nodes_) compute_state(*node);
-}
-
-void ChordNetwork::reset_query_load() {
-  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
-}
-
-std::vector<std::uint64_t> ChordNetwork::query_loads() const {
-  std::vector<std::uint64_t> loads;
-  loads.reserve(nodes_.size());
-  for (const auto& [id, handle] : ring_) {
-    loads.push_back(find(handle)->queries_received);
-  }
-  return loads;
 }
 
 }  // namespace cycloid::chord

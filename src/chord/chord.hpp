@@ -29,7 +29,6 @@ struct ChordNode {
   /// fingers[i] targets successor(id + 2^i); may be stale between
   /// stabilizations.
   std::vector<dht::NodeHandle> fingers;
-  std::uint64_t queries_received = 0;
 };
 
 class ChordNetwork final : public dht::DhtNetwork {
@@ -66,19 +65,15 @@ class ChordNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key) override;
+  using dht::DhtNetwork::lookup;
+  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
+                           dht::LookupMetrics& sink) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
   void fail_ungraceful(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
   void stabilize_all() override;
-  void reset_query_load() override;
-  std::vector<std::uint64_t> query_loads() const override;
-  std::uint64_t maintenance_updates() const override {
-    return maintenance_updates_;
-  }
-  void reset_maintenance() override { maintenance_updates_ = 0; }
 
  private:
   ChordNode* find(dht::NodeHandle handle);
@@ -89,7 +84,7 @@ class ChordNetwork final : public dht::DhtNetwork {
   /// Last live identifier strictly clockwise-before `id`.
   dht::NodeHandle predecessor_of(std::uint64_t id) const;
 
-  void compute_state(ChordNode& node) const;
+  void compute_state(ChordNode& node);
   /// Repair successor lists / predecessors in the ring neighbourhood of a
   /// join or leave at identifier `id`.
   void refresh_ring_around(std::uint64_t id);
@@ -103,7 +98,6 @@ class ChordNetwork final : public dht::DhtNetwork {
   std::map<std::uint64_t, dht::NodeHandle> ring_;  // id -> handle (id == handle)
   std::vector<dht::NodeHandle> handle_vec_;
   std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
-  mutable std::uint64_t maintenance_updates_ = 0;
 };
 
 }  // namespace cycloid::chord

@@ -164,7 +164,7 @@ std::uint64_t CycloidNetwork::succeeding_cycle(std::uint64_t cubical) const {
 // --------------------------------------------------------------------------
 // Routing table & leaf sets
 
-void CycloidNetwork::compute_routing_table(CycloidNode& node) const {
+void CycloidNetwork::compute_routing_table(CycloidNode& node) {
   const NodeHandle old_cubical = node.cubical_neighbor;
   const NodeHandle old_larger = node.cyclic_larger;
   const NodeHandle old_smaller = node.cyclic_smaller;
@@ -228,11 +228,11 @@ void CycloidNetwork::compute_routing_table(CycloidNode& node) const {
 
   if (node.cubical_neighbor != old_cubical || node.cyclic_larger != old_larger ||
       node.cyclic_smaller != old_smaller) {
-    ++maintenance_updates_;
+    note_maintenance();
   }
 }
 
-void CycloidNetwork::compute_leaf_sets(CycloidNode& node) const {
+void CycloidNetwork::compute_leaf_sets(CycloidNode& node) {
   const auto old_inside_pred = std::move(node.inside_pred);
   const auto old_inside_succ = std::move(node.inside_succ);
   const auto old_outside_pred = std::move(node.outside_pred);
@@ -280,7 +280,7 @@ void CycloidNetwork::compute_leaf_sets(CycloidNode& node) const {
       node.inside_succ != old_inside_succ ||
       node.outside_pred != old_outside_pred ||
       node.outside_succ != old_outside_succ) {
-    ++maintenance_updates_;
+    note_maintenance();
   }
 }
 
@@ -383,15 +383,17 @@ dht::NodeHandle CycloidNetwork::owner_of(dht::KeyHash key) const {
 // --------------------------------------------------------------------------
 // Lookup routing (paper Sec. 3.2, Fig. 3)
 
-LookupResult CycloidNetwork::lookup(NodeHandle from, dht::KeyHash key) {
-  return lookup_id(from, key_id(key));
+LookupResult CycloidNetwork::lookup(NodeHandle from, dht::KeyHash key,
+                                    dht::LookupMetrics& sink) const {
+  return lookup_id(from, key_id(key), sink);
 }
 
 LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
-                                       std::vector<RouteStep>* trace) {
+                                       dht::LookupMetrics& sink,
+                                       std::vector<RouteStep>* trace) const {
   LookupResult result;
   int timeouts_at_last_hop = 0;
-  CycloidNode* cur = find(from);
+  const CycloidNode* cur = find(from);
   CYCLOID_EXPECTS(cur != nullptr);
 
   const int d = space_.dimension();
@@ -416,9 +418,9 @@ LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
   // "the number of timeouts experienced by a lookup is equal to the number
   // of departed nodes encountered") and the entry is skipped.
   std::vector<NodeHandle> dead_seen;
-  const auto try_alive = [&](NodeHandle h) -> CycloidNode* {
+  const auto try_alive = [&](NodeHandle h) -> const CycloidNode* {
     if (h == kNoNode) return nullptr;
-    CycloidNode* node = find(h);
+    const CycloidNode* node = find(h);
     if (node == nullptr) {
       if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
           dead_seen.end()) {
@@ -433,7 +435,7 @@ LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
   while (true) {
     if (steps++ > phase_budget && !guard_mode) {
       guard_mode = true;
-      ++guard_fallbacks_;
+      ++sink.guard_fallbacks;
     }
 
     const std::uint64_t cur_rank = space_.closeness_rank(key, cur->id);
@@ -442,10 +444,10 @@ LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
     // the universal fallback). Graceful departures keep leaf sets alive;
     // after UNGRACEFUL departures a leaf entry may be dead, which costs a
     // timeout on first contact.
-    CycloidNode* best_leaf = nullptr;
+    const CycloidNode* best_leaf = nullptr;
     std::uint64_t best_leaf_rank = cur_rank;
     for (const NodeHandle h : leaf_candidates(*cur)) {
-      CycloidNode* cand = try_alive(h);
+      const CycloidNode* cand = try_alive(h);
       if (cand == nullptr) continue;
       const std::uint64_t rank = space_.closeness_rank(key, cand->id);
       if (rank < best_leaf_rank) {
@@ -454,9 +456,10 @@ LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
       }
     }
 
-    const auto hop = [&](CycloidNode* next, Phase phase, const char* link) {
+    const auto hop = [&](const CycloidNode* next, Phase phase,
+                         const char* link) {
       result.count_hop(phase);
-      ++next->queries_received;
+      sink.count_query(handle_of(next->id));
       cur = next;
       visited.push_back(handle_of(next->id));
       if (trace != nullptr) {
@@ -482,12 +485,12 @@ LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
     if (k < target_msdb) {
       // Ascending: forward to the outside-leaf-set node with the higher
       // cyclic index whose cubical index is numerically closest to the key.
-      CycloidNode* best = nullptr;
+      const CycloidNode* best = nullptr;
       std::uint64_t best_dist = ~0ULL;
       const auto consider = [&](const std::vector<NodeHandle>& entries) {
         for (const NodeHandle h : entries) {
           if (h == kNoNode || was_visited(h)) continue;
-          CycloidNode* cand = try_alive(h);
+          const CycloidNode* cand = try_alive(h);
           if (cand == nullptr) continue;
           if (static_cast<int>(cand->id.cyclic) <= k) continue;
           const std::uint64_t dist =
@@ -509,9 +512,9 @@ LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
     } else if (k == target_msdb) {
       // Descending, cube edge: the cubical neighbor flips bit k, extending
       // the shared prefix with the key by at least one bit.
-      CycloidNode* cube = was_visited(cur->cubical_neighbor)
-                              ? nullptr
-                              : try_alive(cur->cubical_neighbor);
+      const CycloidNode* cube = was_visited(cur->cubical_neighbor)
+                                    ? nullptr
+                                    : try_alive(cur->cubical_neighbor);
       if (cube != nullptr &&
           space_.msdb(cube->id.cubical, key.cubical) < target_msdb) {
         hop(cube, kDescend, "cubical");
@@ -522,11 +525,11 @@ LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
       // Descending, cycle edge: among the cyclic neighbors and the inside
       // leaf set, pick the node with cyclic index in [MSDB, k) that keeps
       // the shared prefix and is cubically closest to the key.
-      CycloidNode* best = nullptr;
+      const CycloidNode* best = nullptr;
       std::uint64_t best_dist = ~0ULL;
       const auto consider = [&](NodeHandle h) {
         if (h != kNoNode && was_visited(h)) return;
-        CycloidNode* cand = try_alive(h);
+        const CycloidNode* cand = try_alive(h);
         if (cand == nullptr) return;
         const auto ck = static_cast<int>(cand->id.cyclic);
         if (ck < target_msdb || ck >= k) return;
@@ -556,6 +559,7 @@ LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
 
   result.destination = handle_of(cur->id);
   result.success = true;  // Cycloid lookups always terminate at a live node
+  sink.note(result);
   return result;
 }
 
@@ -644,19 +648,6 @@ double CycloidNetwork::route_latency(NodeHandle from,
     prev = step.node;
   }
   return total;
-}
-
-void CycloidNetwork::reset_query_load() {
-  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
-}
-
-std::vector<std::uint64_t> CycloidNetwork::query_loads() const {
-  std::vector<std::uint64_t> loads;
-  loads.reserve(nodes_.size());
-  for (const auto& [pos, handle] : ring_) {
-    loads.push_back(find(handle)->queries_received);
-  }
-  return loads;
 }
 
 }  // namespace cycloid::ccc

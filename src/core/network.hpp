@@ -88,11 +88,22 @@ class CycloidNetwork final : public dht::DhtNetwork {
     int timeouts_before;         ///< departed entries skipped at the sender
   };
 
-  /// Routing support: lookup toward an explicit CCC position. When `trace`
-  /// is non-null, every forwarding step is appended to it (one entry per
-  /// counted hop).
+  /// Routing support: lookup toward an explicit CCC position, accounting
+  /// into `sink`. When `trace` is non-null, every forwarding step is
+  /// appended to it (one entry per counted hop).
   dht::LookupResult lookup_id(dht::NodeHandle from, const CccId& key,
-                              std::vector<RouteStep>* trace = nullptr);
+                              dht::LookupMetrics& sink,
+                              std::vector<RouteStep>* trace = nullptr) const;
+
+  /// Sequential convenience: route against the network-resident registry
+  /// (mirrors the 2-arg DhtNetwork::lookup wrapper).
+  dht::LookupResult lookup_id(dht::NodeHandle from, const CccId& key,
+                              std::vector<RouteStep>* trace = nullptr) {
+    dht::LookupMetrics sink;
+    const dht::LookupResult result = lookup_id(from, key, sink, trace);
+    absorb(sink);
+    return result;
+  }
 
   /// Simulated one-hop latency between two live nodes: Euclidean distance
   /// between their proximity coordinates on the unit torus.
@@ -104,8 +115,11 @@ class CycloidNetwork final : public dht::DhtNetwork {
 
   /// Times the routing safety net (pure numeric leaf-set descent) engaged
   /// after the phase algorithm exceeded its step budget. Expected ~0; exposed
-  /// so tests can assert the phase algorithm itself converges.
-  std::uint64_t guard_fallbacks() const noexcept { return guard_fallbacks_; }
+  /// so tests can assert the phase algorithm itself converges. Counts only
+  /// lookups routed through the registry wrapper (like query_loads()).
+  std::uint64_t guard_fallbacks() const noexcept {
+    return metrics_.lookups.guard_fallbacks;
+  }
 
   // DhtNetwork interface -----------------------------------------------
   std::string name() const override;
@@ -115,19 +129,15 @@ class CycloidNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key) override;
+  using dht::DhtNetwork::lookup;
+  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
+                           dht::LookupMetrics& sink) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
   void fail_ungraceful(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
   void stabilize_all() override;
-  void reset_query_load() override;
-  std::vector<std::uint64_t> query_loads() const override;
-  std::uint64_t maintenance_updates() const override {
-    return maintenance_updates_;
-  }
-  void reset_maintenance() override { maintenance_updates_ = 0; }
 
   /// Routing-phase slots in LookupResult::phase_hops.
   enum Phase : std::size_t { kAscend = 0, kDescend = 1, kTraverse = 2 };
@@ -139,10 +149,10 @@ class CycloidNetwork final : public dht::DhtNetwork {
 
   /// Compute the routing-table entries of `node` from the live membership
   /// (the paper's "local-remote" search, idealized as stabilization does).
-  void compute_routing_table(CycloidNode& node) const;
+  void compute_routing_table(CycloidNode& node);
 
   /// Compute exact leaf sets of `node` from the live membership.
-  void compute_leaf_sets(CycloidNode& node) const;
+  void compute_leaf_sets(CycloidNode& node);
 
   /// Recompute leaf sets of every node in the (2 * leaf_width + 1)-cycle
   /// neighbourhood around cubical index `cubical` — the set of nodes whose
@@ -182,10 +192,6 @@ class CycloidNetwork final : public dht::DhtNetwork {
   /// Dense handle list + positions for O(1) random_node and removal.
   std::vector<dht::NodeHandle> handle_vec_;
   std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
-
-  std::uint64_t guard_fallbacks_ = 0;
-  /// Per-node state updates performed by repair/stabilization machinery.
-  mutable std::uint64_t maintenance_updates_ = 0;
 };
 
 }  // namespace cycloid::ccc

@@ -41,9 +41,6 @@ struct CycloidNode {
   std::vector<dht::NodeHandle> inside_succ;
   std::vector<dht::NodeHandle> outside_pred;
   std::vector<dht::NodeHandle> outside_succ;
-
-  // Query-load counter (paper Fig. 10): lookup messages received.
-  std::uint64_t queries_received = 0;
 };
 
 }  // namespace cycloid::ccc

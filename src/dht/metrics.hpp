@@ -1,0 +1,102 @@
+// Caller-owned accounting for the read-only lookup core.
+//
+// Routing is split from mutation: `DhtNetwork::lookup(from, key, sink)` is
+// const and records everything it would previously have written into
+// network-resident counters — per-phase hops, timeouts, guard fallbacks,
+// per-node query load, and any repair-on-timeout promotions it *learned* —
+// into a caller-owned LookupMetrics. Per-thread sinks merge deterministically
+// (merge order fixed by the caller), which is what makes lookup-level
+// parallelism bit-reproducible at any thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dht/types.hpp"
+
+namespace cycloid::dht {
+
+class DhtNetwork;
+
+class LookupMetrics {
+ public:
+  // Aggregate counters ---------------------------------------------------
+  std::uint64_t lookups = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failures = 0;
+  /// Times a routing safety net engaged (Cycloid's pure leaf-set descent).
+  std::uint64_t guard_fallbacks = 0;
+  /// Hops attributed to each routing phase (slot meanings per overlay).
+  std::array<std::uint64_t, kMaxPhases> phase_hops{};
+
+  /// Record the outcome of one finished lookup. The routing core calls this
+  /// exactly once per lookup, immediately before returning.
+  void note(const LookupResult& result);
+
+  double mean_path() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hops) /
+                                    static_cast<double>(lookups);
+  }
+
+  // Per-node query load (paper Fig. 10) ----------------------------------
+  /// Count one lookup message received by `node` (intermediate or final).
+  void count_query(NodeHandle node) { ++query_load_[node]; }
+  std::uint64_t query_load_of(NodeHandle node) const;
+  /// Per-node loads in the network's canonical node order — one entry per
+  /// live node, zeros included.
+  std::vector<std::uint64_t> query_load_vector(const DhtNetwork& net) const;
+  const std::unordered_map<NodeHandle, std::uint64_t>& query_load() const {
+    return query_load_;
+  }
+  void clear_query_load() { query_load_.clear(); }
+
+  // Repair-on-timeout plane ----------------------------------------------
+  // A const lookup cannot rewrite a node's stale link, but it can record
+  // what it learned: "node X's primary pointer is dead, the first live
+  // backup is Y" (learn_link) or "X's whole pointer set is dead"
+  // (mark_broken). Later lookups through the same sink consult these
+  // before the node's stored state — so within one batch the repair
+  // semantics match the old mutating implementation — and
+  // DhtNetwork::absorb() hands them to the overlay to apply for real.
+  std::optional<NodeHandle> learned_link(NodeHandle node) const;
+  void learn_link(NodeHandle node, NodeHandle target) {
+    learned_links_[node] = target;
+  }
+  bool is_broken(NodeHandle node) const {
+    return broken_links_.contains(node);
+  }
+  void mark_broken(NodeHandle node) { broken_links_.insert(node); }
+  const std::unordered_map<NodeHandle, NodeHandle>& learned_links() const {
+    return learned_links_;
+  }
+  const std::unordered_set<NodeHandle>& broken_links() const {
+    return broken_links_;
+  }
+
+  /// Fold `other` into this sink. Counter sums are order-independent;
+  /// learned links keep the first-merged value (all shards learn the same
+  /// promotion for a given node, since it is a function of network state).
+  void merge(const LookupMetrics& other);
+
+ private:
+  std::unordered_map<NodeHandle, std::uint64_t> query_load_;
+  std::unordered_map<NodeHandle, NodeHandle> learned_links_;
+  std::unordered_set<NodeHandle> broken_links_;
+};
+
+/// Network-resident accounting kept behind DhtNetwork's legacy adapters
+/// (`query_loads()`, `maintenance_updates()`, Cycloid's
+/// `guard_fallbacks()`): a registry the sequential convenience wrapper
+/// absorbs sinks into, plus the maintenance-overhead counter written by the
+/// (non-const) membership and stabilization paths.
+struct MetricsRegistry {
+  LookupMetrics lookups;
+  std::uint64_t maintenance_updates = 0;
+};
+
+}  // namespace cycloid::dht

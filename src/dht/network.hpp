@@ -1,16 +1,27 @@
 // Abstract overlay-network interface.
 //
-// All four DHTs built in this repository — Cycloid (the paper's
-// contribution), and the Viceroy, Koorde, and Chord comparators — implement
+// All DHTs built in this repository — Cycloid (the paper's contribution),
+// and the Chord, Koorde, Viceroy, Pastry, and CAN comparators — implement
 // this interface, so every experiment driver in src/exp runs unmodified
 // against each of them. The simulation is message-level: a lookup is executed
 // synchronously, hop by hop, and its cost is returned in a LookupResult.
+//
+// Routing core vs. mutation plane
+// -------------------------------
+// The routing hot path is const: `lookup(from, key, sink)` only reads the
+// membership and per-node routing state, and writes every side effect —
+// hops, timeouts, per-node query load, learned repair promotions — into the
+// caller-owned LookupMetrics sink. Concurrent lookups against the same
+// network (each thread with its own sink) are therefore data-race-free, as
+// long as no mutation-plane call (join/leave/fail_*/stabilize_*/absorb or
+// the 2-arg lookup wrapper) runs concurrently with them.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "dht/metrics.hpp"
 #include "dht/types.hpp"
 #include "util/rng.hpp"
 
@@ -48,8 +59,30 @@ class DhtNetwork {
   virtual NodeHandle owner_of(KeyHash key) const = 0;
 
   /// Route a lookup from `from` toward the node responsible for `key`,
-  /// counting hops, timeouts, and per-phase costs.
-  virtual LookupResult lookup(NodeHandle from, KeyHash key) = 0;
+  /// counting hops, timeouts, and per-phase costs into `sink`. Read-only
+  /// with respect to the network: safe to call from many threads at once
+  /// (one sink per thread) provided no mutating member runs concurrently.
+  virtual LookupResult lookup(NodeHandle from, KeyHash key,
+                              LookupMetrics& sink) const = 0;
+
+  /// Sequential convenience wrapper: route against the network-resident
+  /// registry and immediately apply any repair promotions the lookup
+  /// learned (the pre-split mutating behaviour, kept for tests, examples,
+  /// and the churn driver).
+  LookupResult lookup(NodeHandle from, KeyHash key) {
+    LookupMetrics sink;
+    const LookupResult result =
+        static_cast<const DhtNetwork&>(*this).lookup(from, key, sink);
+    absorb(sink);
+    return result;
+  }
+
+  /// Fold a finished batch into the registry and let the overlay apply the
+  /// repair promotions the batch learned (Koorde's backup promotion).
+  void absorb(const LookupMetrics& batch) {
+    apply_repairs(batch);
+    metrics_.lookups.merge(batch);
+  }
 
   /// Add one node whose identifier derives from `seed`; returns its handle
   /// (kNoNode if the derived identifier was already taken).
@@ -82,16 +115,41 @@ class DhtNetwork {
   virtual void stabilize_all() = 0;
 
   /// Query-load accounting (paper Fig. 10): number of lookup messages each
-  /// node received as an intermediate or final destination.
-  virtual void reset_query_load() = 0;
-  virtual std::vector<std::uint64_t> query_loads() const = 0;
+  /// node received as an intermediate or final destination. Thin adapters
+  /// over the registry the sequential wrapper absorbs into; batch runs keep
+  /// their own sinks and never touch these.
+  void reset_query_load() { metrics_.lookups.clear_query_load(); }
+  std::vector<std::uint64_t> query_loads() const {
+    return metrics_.lookups.query_load_vector(*this);
+  }
 
   /// Maintenance-overhead accounting — the fifth DHT metric of paper
   /// Sec. 4: the number of per-node state updates the protocol performed
   /// (leaf-set/successor repairs on join/leave, stabilization refreshes).
   /// One update ~ one maintenance message exchange with that node.
-  virtual std::uint64_t maintenance_updates() const { return 0; }
-  virtual void reset_maintenance() {}
+  std::uint64_t maintenance_updates() const {
+    return metrics_.maintenance_updates;
+  }
+  void reset_maintenance() { metrics_.maintenance_updates = 0; }
+
+  /// The network-resident registry (sequential-wrapper accounting).
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ protected:
+  /// Overlay hook: apply the repair promotions a finished sink learned
+  /// (Koorde promotes live backups into dead de Bruijn pointers). Default:
+  /// nothing to repair.
+  virtual void apply_repairs(const LookupMetrics& batch) {
+    (void)batch;
+  }
+
+  /// Mutation-plane accounting: `updates` per-node state changes performed
+  /// by repair/stabilization machinery.
+  void note_maintenance(std::uint64_t updates = 1) {
+    metrics_.maintenance_updates += updates;
+  }
+
+  MetricsRegistry metrics_;
 };
 
 }  // namespace cycloid::dht

@@ -39,8 +39,12 @@ std::vector<PathLengthRow> run_dense_path_lengths(
     for (const OverlayKind kind : kinds) cells.push_back(Cell{d, kind});
   }
 
+  // Cells run sequentially; the lookup batch inside each cell is sharded
+  // across `threads`. Intra-cell parallelism scales with the workload
+  // (n^2/4 lookups) instead of with the number of (overlay, d) cells, so
+  // the big dense networks no longer serialize on a single worker.
   std::vector<PathLengthRow> rows(cells.size());
-  util::parallel_for(cells.size(), threads, [&](std::size_t i) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto [d, kind] = cells[i];
     const std::uint64_t n = dense_size(d);
     // Paper workload: every node issues n/4 lookups to random destinations.
@@ -49,9 +53,8 @@ std::vector<PathLengthRow> run_dense_path_lengths(
     const std::uint64_t s = cell_seed(seed, static_cast<std::uint64_t>(d),
                                       static_cast<std::uint64_t>(kind));
     auto net = make_dense_overlay(kind, d, s);
-    util::Rng rng(s + 1);
-    const WorkloadStats stats =
-        run_random_lookups(*net, std::max<std::uint64_t>(lookups, 1), rng);
+    const WorkloadStats stats = run_lookup_batch(
+        *net, std::max<std::uint64_t>(lookups, 1), s + 1, threads);
 
     PathLengthRow row;
     row.kind = kind;
@@ -65,7 +68,7 @@ std::vector<PathLengthRow> run_dense_path_lengths(
     row.phase_names = stats.phase_names;
     row.incorrect = stats.incorrect + stats.failures;
     rows[i] = std::move(row);
-  });
+  }
   return rows;
 }
 
@@ -90,7 +93,7 @@ std::vector<KeyDistributionRow> run_key_distribution(
 std::vector<QueryLoadRow> run_query_load(const std::vector<OverlayKind>& kinds,
                                          const std::vector<int>& dimensions,
                                          double lookup_scale,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed, int threads) {
   std::vector<QueryLoadRow> rows;
   for (const int d : dimensions) {
     const std::uint64_t n = dense_size(d);
@@ -102,8 +105,13 @@ std::vector<QueryLoadRow> run_query_load(const std::vector<OverlayKind>& kinds,
       const std::uint64_t s = cell_seed(seed, static_cast<std::uint64_t>(d),
                                         static_cast<std::uint64_t>(kind) + 16);
       auto net = make_dense_overlay(kind, d, s);
-      util::Rng rng(s + 1);
-      const stats::Summary loads = query_load_distribution(*net, lookups, rng);
+      const WorkloadStats stats =
+          run_lookup_batch(*net, lookups, s + 1, threads,
+                           /*check_owner=*/false);
+      stats::Summary loads;
+      for (const std::uint64_t load : stats.metrics.query_load_vector(*net)) {
+        loads.add_count(load);
+      }
       rows.push_back(QueryLoadRow{kind, net->node_count(), lookups,
                                   loads.mean(), loads.p1(), loads.p99(),
                                   loads.stddev()});
@@ -137,7 +145,10 @@ std::vector<FailureRow> run_failure_experiment(
     util::Rng rng(s + 1);
     net->fail_simultaneously(p, rng);
 
-    const WorkloadStats stats = run_random_lookups(*net, lookups, rng);
+    // Cells already fan out above, so the batch itself runs single-threaded;
+    // the shard structure still makes the result seed-deterministic.
+    const WorkloadStats stats =
+        run_lookup_batch(*net, lookups, s + 2, /*threads=*/1);
     FailureRow row;
     row.kind = kind;
     row.departure_probability = p;
@@ -178,9 +189,14 @@ std::vector<UngracefulRow> run_ungraceful_experiment(
     util::Rng rng(s + 1);
     net->fail_ungraceful(p, rng);
 
-    const WorkloadStats before = run_random_lookups(*net, lookups, rng);
+    const WorkloadStats before =
+        run_lookup_batch(*net, lookups, s + 2, /*threads=*/1);
+    // Keep the repairs the first batch learned (Koorde backup promotions)
+    // before stabilizing, like the old in-place mutating lookups did.
+    net->absorb(before.metrics);
     net->stabilize_all();
-    const WorkloadStats after = run_random_lookups(*net, lookups, rng);
+    const WorkloadStats after =
+        run_lookup_batch(*net, lookups, s + 3, /*threads=*/1);
 
     UngracefulRow row;
     row.kind = kind;
@@ -304,8 +320,8 @@ std::vector<SparsityRow> run_sparsity_experiment(
         cell_seed(seed, static_cast<std::uint64_t>(kind), si + 200);
     auto net = make_sparse_overlay(kind, dimension,
                                    std::max<std::size_t>(count, 2), s);
-    util::Rng rng(s + 1);
-    const WorkloadStats stats = run_random_lookups(*net, lookups, rng);
+    const WorkloadStats stats =
+        run_lookup_batch(*net, lookups, s + 1, /*threads=*/1);
 
     SparsityRow row;
     row.kind = kind;

@@ -67,10 +67,12 @@ struct QueryLoadRow {
   double stddev = 0.0;
 };
 
+/// Per-node received-query counters after the dense lookup workload. The
+/// batch is sharded across `threads` (deterministic at any thread count).
 std::vector<QueryLoadRow> run_query_load(const std::vector<OverlayKind>& kinds,
                                          const std::vector<int>& dimensions,
                                          double lookup_scale,
-                                         std::uint64_t seed);
+                                         std::uint64_t seed, int threads = 1);
 
 // --- Fig. 11 / Table 4: massive simultaneous departures --------------------
 

@@ -1,40 +1,88 @@
 #include "exp/workloads.hpp"
 
 #include <unordered_map>
+#include <utility>
 
 #include "hash/keys.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace cycloid::exp {
 
 double WorkloadStats::phase_fraction(std::size_t i) const {
   CYCLOID_EXPECTS(i < dht::kMaxPhases);
-  double total = 0.0;
-  for (const double t : phase_hop_totals) total += t;
-  return total == 0.0 ? 0.0 : phase_hop_totals[i] / total;
+  return metrics.hops == 0
+             ? 0.0
+             : static_cast<double>(metrics.phase_hops[i]) /
+                   static_cast<double>(metrics.hops);
 }
 
-WorkloadStats run_random_lookups(dht::DhtNetwork& net, std::uint64_t count,
-                                 util::Rng& rng, bool check_owner) {
-  WorkloadStats out;
-  out.phase_names = net.phase_names();
+void WorkloadStats::note(const dht::LookupResult& result, bool correct) {
+  ++lookups;
+  path_length.add(result.hops);
+  timeouts.add(result.timeouts);
+  if (!result.success) {
+    ++failures;
+  } else if (!correct) {
+    ++incorrect;
+  }
+}
+
+void WorkloadStats::merge(const WorkloadStats& other) {
+  lookups += other.lookups;
+  failures += other.failures;
+  incorrect += other.incorrect;
+  path_length.merge(other.path_length);
+  timeouts.merge(other.timeouts);
+  metrics.merge(other.metrics);
+  if (phase_names.empty()) phase_names = other.phase_names;
+}
+
+namespace {
+
+/// The shared inner loop: `count` lookups drawn from `rng` into `out`.
+void run_into(const dht::DhtNetwork& net, std::uint64_t count, util::Rng& rng,
+              bool check_owner, WorkloadStats& out) {
   for (std::uint64_t i = 0; i < count; ++i) {
     const dht::NodeHandle source = net.random_node(rng);
     const dht::KeyHash key = rng();
-    const dht::LookupResult result = net.lookup(source, key);
-
-    ++out.lookups;
-    out.path_length.add(result.hops);
-    out.timeouts.add(result.timeouts);
-    for (std::size_t p = 0; p < dht::kMaxPhases; ++p) {
-      out.phase_hop_totals[p] += result.phase_hops[p];
-    }
-    if (!result.success) {
-      ++out.failures;
-    } else if (check_owner && result.destination != net.owner_of(key)) {
-      ++out.incorrect;
-    }
+    const dht::LookupResult result = net.lookup(source, key, out.metrics);
+    out.note(result, !check_owner || !result.success ||
+                         result.destination == net.owner_of(key));
   }
+}
+
+}  // namespace
+
+WorkloadStats run_random_lookups(const dht::DhtNetwork& net,
+                                 std::uint64_t count, util::Rng& rng,
+                                 bool check_owner) {
+  WorkloadStats out;
+  out.phase_names = net.phase_names();
+  run_into(net, count, rng, check_owner, out);
+  return out;
+}
+
+WorkloadStats run_lookup_batch(const dht::DhtNetwork& net, std::uint64_t count,
+                               std::uint64_t seed, int threads,
+                               bool check_owner) {
+  const std::uint64_t shards =
+      count == 0 ? 0 : (count + kLookupShardSize - 1) / kLookupShardSize;
+  std::vector<WorkloadStats> parts(static_cast<std::size_t>(shards));
+
+  util::parallel_for(static_cast<std::size_t>(shards), threads,
+                     [&](std::size_t s) {
+    const std::uint64_t begin = static_cast<std::uint64_t>(s) * kLookupShardSize;
+    const std::uint64_t n = std::min(kLookupShardSize, count - begin);
+    // Per-shard stream: decorrelate the shard index into a full 64-bit
+    // seed (splitmix64-style), so streams never overlap in practice.
+    util::Rng rng(util::mix64(seed ^ ((s + 1) * 0x9e3779b97f4a7c15ULL)));
+    run_into(net, n, rng, check_owner, parts[s]);
+  });
+
+  WorkloadStats out;
+  out.phase_names = net.phase_names();
+  for (const WorkloadStats& part : parts) out.merge(part);
   return out;
 }
 
@@ -52,14 +100,16 @@ stats::Summary key_distribution(const dht::DhtNetwork& net,
   return per_node;
 }
 
-stats::Summary query_load_distribution(dht::DhtNetwork& net,
+stats::Summary query_load_distribution(const dht::DhtNetwork& net,
                                        std::uint64_t count, util::Rng& rng) {
-  net.reset_query_load();
+  dht::LookupMetrics sink;
   for (std::uint64_t i = 0; i < count; ++i) {
-    net.lookup(net.random_node(rng), rng());
+    net.lookup(net.random_node(rng), rng(), sink);
   }
   stats::Summary loads;
-  for (const std::uint64_t load : net.query_loads()) loads.add_count(load);
+  for (const std::uint64_t load : sink.query_load_vector(net)) {
+    loads.add_count(load);
+  }
   return loads;
 }
 

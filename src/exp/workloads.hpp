@@ -1,38 +1,65 @@
 // Workload runners shared by the bench binaries and the integration tests.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "dht/metrics.hpp"
 #include "dht/network.hpp"
 #include "stats/summary.hpp"
 #include "util/rng.hpp"
 
 namespace cycloid::exp {
 
-/// Aggregate outcome of a batch of lookups.
+/// Aggregate outcome of a batch of lookups. Wraps a dht::LookupMetrics sink
+/// (counters, per-phase hops, per-node query load) together with the
+/// experiment-side quantities the sink cannot know: per-lookup path-length /
+/// timeout samples (for percentiles) and owner-correctness checks.
 struct WorkloadStats {
   std::uint64_t lookups = 0;
   std::uint64_t failures = 0;    // routing gave up (Koorde broken pointers)
   std::uint64_t incorrect = 0;   // terminated at a node that is not the owner
   stats::Summary path_length;
   stats::Summary timeouts;
-  std::array<double, dht::kMaxPhases> phase_hop_totals{};
+  dht::LookupMetrics metrics;
   std::vector<std::string> phase_names;
 
   double mean_path() const { return path_length.mean(); }
   double mean_timeouts() const { return timeouts.mean(); }
   /// Fraction of all hops spent in phase `i`.
   double phase_fraction(std::size_t i) const;
+
+  /// Record one lookup result (the sink counters were already updated by
+  /// the routing core; this adds the experiment-side samples).
+  void note(const dht::LookupResult& result, bool correct);
+
+  /// Fold `other` into this batch. Sample order follows merge order, so a
+  /// fixed merge order gives bit-identical summaries.
+  void merge(const WorkloadStats& other);
 };
 
 /// Run `count` lookups from uniform-random sources toward uniform-random
-/// keys. When `check_owner`, each lookup's destination is compared against
-/// the overlay's ground-truth owner (counted in `incorrect` on mismatch).
-WorkloadStats run_random_lookups(dht::DhtNetwork& net, std::uint64_t count,
-                                 util::Rng& rng, bool check_owner = true);
+/// keys, sequentially, through one shared sink (so Koorde's learned repairs
+/// carry across the run, like the old mutating implementation). When
+/// `check_owner`, each lookup's destination is compared against the
+/// overlay's ground-truth owner (counted in `incorrect` on mismatch).
+WorkloadStats run_random_lookups(const dht::DhtNetwork& net,
+                                 std::uint64_t count, util::Rng& rng,
+                                 bool check_owner = true);
+
+/// Lookups per shard of a parallel batch. Fixed — independent of the thread
+/// count — so the shard structure, every per-shard RNG stream, and the
+/// merge order never change with parallelism.
+inline constexpr std::uint64_t kLookupShardSize = 2048;
+
+/// Run `count` random lookups sharded across `threads` workers. Each shard
+/// draws its sources and keys from its own splitmix64-derived RNG stream
+/// and accumulates into its own sink; shards merge in index order. The
+/// result is bit-identical at any thread count.
+WorkloadStats run_lookup_batch(const dht::DhtNetwork& net, std::uint64_t count,
+                               std::uint64_t seed, int threads,
+                               bool check_owner = true);
 
 /// Hash `key_count` keys into the overlay and count how many each node
 /// stores; the returned summary has one sample per node (zero included) —
@@ -42,7 +69,7 @@ stats::Summary key_distribution(const dht::DhtNetwork& net,
 
 /// Run `count` random lookups and return the per-node received-query
 /// counters (paper Fig. 10).
-stats::Summary query_load_distribution(dht::DhtNetwork& net,
+stats::Summary query_load_distribution(const dht::DhtNetwork& net,
                                        std::uint64_t count, util::Rng& rng);
 
 }  // namespace cycloid::exp

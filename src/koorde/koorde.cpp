@@ -128,7 +128,7 @@ NodeHandle KoordeNetwork::predecessor_incl(std::uint64_t id) const {
   return it == ring_.begin() ? ring_.rbegin()->second : std::prev(it)->second;
 }
 
-void KoordeNetwork::repair_ring(KoordeNode& node) const {
+void KoordeNetwork::repair_ring(KoordeNode& node) {
   const NodeHandle old_pred = node.predecessor;
   const auto old_successors = node.successors;
   node.predecessor = predecessor_of(node.id);
@@ -140,11 +140,11 @@ void KoordeNetwork::repair_ring(KoordeNode& node) const {
     walk = succ;
   }
   if (node.predecessor != old_pred || node.successors != old_successors) {
-    ++maintenance_updates_;
+    note_maintenance();
   }
 }
 
-void KoordeNetwork::compute_state(KoordeNode& node) const {
+void KoordeNetwork::compute_state(KoordeNode& node) {
   repair_ring(node);
 
   // First de Bruijn node: the live node at or immediately preceding
@@ -224,18 +224,19 @@ KoordeNetwork::ImaginaryStart KoordeNetwork::best_start(
   return make_start(start, 0);
 }
 
-LookupResult KoordeNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+LookupResult KoordeNetwork::lookup(NodeHandle from, dht::KeyHash key,
+                                   dht::LookupMetrics& sink) const {
   LookupResult result;
-  KoordeNode* cur = find(from);
+  const KoordeNode* cur = find(from);
   CYCLOID_EXPECTS(cur != nullptr);
   const std::uint64_t mask = space_size_ - 1;
   const std::uint64_t target = key & mask;
 
   // Distinct-departed-node timeout accounting (paper Sec. 4.3).
   std::vector<NodeHandle> dead_seen;
-  const auto try_alive = [&](NodeHandle h) -> KoordeNode* {
+  const auto try_alive = [&](NodeHandle h) -> const KoordeNode* {
     if (h == kNoNode) return nullptr;
-    KoordeNode* node = find(h);
+    const KoordeNode* node = find(h);
     if (node == nullptr) {
       if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
           dead_seen.end()) {
@@ -249,29 +250,38 @@ LookupResult KoordeNetwork::lookup(NodeHandle from, dht::KeyHash key) {
 
   ImaginaryStart path = best_start(*cur, target);
 
-  // Resolve the current node's de Bruijn pointer, promoting a live backup on
-  // timeout; nullptr means pointer and all backups are dead (lookup failure).
-  const auto resolve_db = [&](KoordeNode& node) -> KoordeNode* {
-    if (node.db_broken) return nullptr;
-    KoordeNode* db = try_alive(node.de_bruijn);
-    if (db != nullptr) return db;
-    for (std::size_t b = 0; b < node.db_backups.size(); ++b) {
-      KoordeNode* backup = try_alive(node.db_backups[b]);
-      if (backup != nullptr) {
-        node.de_bruijn = node.db_backups[b];  // promote (repair-on-timeout)
-        node.db_backups.erase(node.db_backups.begin(),
-                              node.db_backups.begin() +
-                                  static_cast<std::ptrdiff_t>(b) + 1);
-        return backup;
+  // Resolve the current node's de Bruijn pointer: walk pointer-then-backups
+  // until a live entry. The routing core is const, so instead of promoting
+  // in place the lookup records the promotion into the sink; lookups that
+  // share the sink resume from the learned entry (no re-timeouts), and
+  // apply_repairs() makes it permanent when the sink is absorbed. nullptr
+  // means pointer and all backups are dead (lookup failure).
+  const auto resolve_db = [&](const KoordeNode& node) -> const KoordeNode* {
+    if (node.db_broken || sink.is_broken(node.id)) return nullptr;
+    std::size_t start = 0;
+    if (const auto learned = sink.learned_link(node.id)) {
+      const auto it = std::find(node.db_backups.begin(),
+                                node.db_backups.end(), *learned);
+      if (it != node.db_backups.end()) {
+        start = static_cast<std::size_t>(it - node.db_backups.begin()) + 1;
       }
     }
-    node.db_broken = true;
+    const auto entry = [&](std::size_t i) {
+      return i == 0 ? node.de_bruijn : node.db_backups[i - 1];
+    };
+    for (std::size_t i = start; i <= node.db_backups.size(); ++i) {
+      const KoordeNode* cand = try_alive(entry(i));
+      if (cand == nullptr) continue;
+      if (i > 0) sink.learn_link(node.id, entry(i));  // repair-on-timeout
+      return cand;
+    }
+    sink.mark_broken(node.id);
     return nullptr;
   };
 
-  const auto hop = [&](KoordeNode* next, Phase phase) {
+  const auto hop = [&](const KoordeNode* next, Phase phase) {
     result.count_hop(phase);
-    ++next->queries_received;
+    sink.count_query(next->id);
     cur = next;
   };
 
@@ -282,7 +292,7 @@ LookupResult KoordeNetwork::lookup(NodeHandle from, dht::KeyHash key) {
       break;
     }
 
-    KoordeNode* succ = nullptr;
+    const KoordeNode* succ = nullptr;
     for (const NodeHandle sh : cur->successors) {
       succ = try_alive(sh);
       if (succ != nullptr) break;
@@ -303,10 +313,11 @@ LookupResult KoordeNetwork::lookup(NodeHandle from, dht::KeyHash key) {
       // Walk one de Bruijn edge: shift the imaginary node left by the
       // digit width, injecting the next shift_bits key bits, and move to
       // the real predecessor via the pointer.
-      KoordeNode* db = resolve_db(*cur);
+      const KoordeNode* db = resolve_db(*cur);
       if (db == nullptr) {
         result.success = false;
         result.destination = cur->id;
+        sink.note(result);
         return result;
       }
       const std::uint64_t digit =
@@ -327,7 +338,23 @@ LookupResult KoordeNetwork::lookup(NodeHandle from, dht::KeyHash key) {
 
   result.destination = cur->id;
   result.success = true;
+  sink.note(result);
   return result;
+}
+
+void KoordeNetwork::apply_repairs(const dht::LookupMetrics& batch) {
+  for (const auto& [handle, promoted] : batch.learned_links()) {
+    KoordeNode* node = find(handle);
+    if (node == nullptr || node->de_bruijn == promoted) continue;
+    const auto it = std::find(node->db_backups.begin(),
+                              node->db_backups.end(), promoted);
+    if (it == node->db_backups.end()) continue;  // stale learning
+    node->de_bruijn = promoted;  // promote; consumed entries are dropped
+    node->db_backups.erase(node->db_backups.begin(), it + 1);
+  }
+  for (const NodeHandle handle : batch.broken_links()) {
+    if (KoordeNode* node = find(handle)) node->db_broken = true;
+  }
 }
 
 NodeHandle KoordeNetwork::join(std::uint64_t seed) {
@@ -374,19 +401,6 @@ void KoordeNetwork::stabilize_one(NodeHandle node) {
 
 void KoordeNetwork::stabilize_all() {
   for (const auto& [handle, node] : nodes_) compute_state(*node);
-}
-
-void KoordeNetwork::reset_query_load() {
-  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
-}
-
-std::vector<std::uint64_t> KoordeNetwork::query_loads() const {
-  std::vector<std::uint64_t> loads;
-  loads.reserve(nodes_.size());
-  for (const auto& [id, handle] : ring_) {
-    loads.push_back(find(handle)->queries_received);
-  }
-  return loads;
 }
 
 }  // namespace cycloid::koorde

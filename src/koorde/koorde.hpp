@@ -14,7 +14,10 @@
 // promotes a live backup to be its de Bruijn pointer — the backups exist
 // for exactly this — so repeated traffic does not re-time-out; when the
 // pointer and all backups are dead the lookup *fails*, which is the
-// behaviour behind the paper's Koorde failure counts.
+// behaviour behind the paper's Koorde failure counts. Since the routing
+// core is const, a lookup records the promotion it learned into its
+// LookupMetrics sink (later lookups through the same sink see it), and
+// apply_repairs() writes it back into the node when the sink is absorbed.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +39,6 @@ struct KoordeNode {
   dht::NodeHandle de_bruijn = dht::kNoNode;     // may be stale
   std::vector<dht::NodeHandle> db_backups;      // 3 predecessors of de_bruijn
   bool db_broken = false;  // pointer and all backups found dead
-  std::uint64_t queries_received = 0;
 };
 
 class KoordeNetwork final : public dht::DhtNetwork {
@@ -74,19 +76,20 @@ class KoordeNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key) override;
+  using dht::DhtNetwork::lookup;
+  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
+                           dht::LookupMetrics& sink) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
   void fail_ungraceful(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
   void stabilize_all() override;
-  void reset_query_load() override;
-  std::vector<std::uint64_t> query_loads() const override;
-  std::uint64_t maintenance_updates() const override {
-    return maintenance_updates_;
-  }
-  void reset_maintenance() override { maintenance_updates_ = 0; }
+
+ protected:
+  /// Apply the backup promotions a batch of const lookups learned: the
+  /// repair-on-timeout mutation, deferred out of the routing core.
+  void apply_repairs(const dht::LookupMetrics& batch) override;
 
  private:
   KoordeNode* find(dht::NodeHandle handle);
@@ -96,8 +99,8 @@ class KoordeNetwork final : public dht::DhtNetwork {
   dht::NodeHandle predecessor_of(std::uint64_t id) const;  // strictly before
   dht::NodeHandle predecessor_incl(std::uint64_t id) const;  // at or before
 
-  void compute_state(KoordeNode& node) const;
-  void repair_ring(KoordeNode& node) const;
+  void compute_state(KoordeNode& node);
+  void repair_ring(KoordeNode& node);
   void refresh_ring_around(std::uint64_t id);
   void unlink(dht::NodeHandle handle);
 
@@ -126,7 +129,6 @@ class KoordeNetwork final : public dht::DhtNetwork {
   std::map<std::uint64_t, dht::NodeHandle> ring_;
   std::vector<dht::NodeHandle> handle_vec_;
   std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
-  mutable std::uint64_t maintenance_updates_ = 0;
 };
 
 }  // namespace cycloid::koorde

@@ -157,7 +157,7 @@ double PastryNetwork::proximity(const PastryNode& a,
   return dx * dx + dy * dy;
 }
 
-void PastryNetwork::compute_leaf_sets(PastryNode& node) const {
+void PastryNetwork::compute_leaf_sets(PastryNode& node) {
   const auto old_smaller = std::move(node.leaf_smaller);
   const auto old_larger = std::move(node.leaf_larger);
   node.leaf_smaller.clear();
@@ -178,12 +178,12 @@ void PastryNetwork::compute_leaf_sets(PastryNode& node) const {
     node.leaf_larger.push_back(up->second);
   }
   if (node.leaf_smaller != old_smaller || node.leaf_larger != old_larger) {
-    ++maintenance_updates_;
+    note_maintenance();
   }
 }
 
-void PastryNetwork::compute_routing_table(PastryNode& node) const {
-  ++maintenance_updates_;
+void PastryNetwork::compute_routing_table(PastryNode& node) {
+  note_maintenance();
   node.routing_table.assign(
       static_cast<std::size_t>(rows_),
       std::vector<NodeHandle>(1ULL << bits_per_digit_, kNoNode));
@@ -222,7 +222,7 @@ void PastryNetwork::compute_routing_table(PastryNode& node) const {
   }
 }
 
-void PastryNetwork::compute_neighborhood(PastryNode& node) const {
+void PastryNetwork::compute_neighborhood(PastryNode& node) {
   node.neighborhood.clear();
   if (neighborhood_size_ == 0) return;
   // |M| proximity-nearest nodes (linear scan; refreshed by stabilization).
@@ -283,23 +283,24 @@ NodeHandle PastryNetwork::owner_of(dht::KeyHash key) const {
   return closest_to(key % space_size_);
 }
 
-LookupResult PastryNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+LookupResult PastryNetwork::lookup(NodeHandle from, dht::KeyHash key,
+                                   dht::LookupMetrics& sink) const {
   LookupResult result;
-  PastryNode* cur = find(from);
+  const PastryNode* cur = find(from);
   CYCLOID_EXPECTS(cur != nullptr);
   const std::uint64_t target = key % space_size_;
 
-  const auto hop = [&](PastryNode* next, Phase phase) {
+  const auto hop = [&](const PastryNode* next, Phase phase) {
     result.count_hop(phase);
-    ++next->queries_received;
+    sink.count_query(next->id);
     cur = next;
   };
 
   // Distinct-departed-node timeout accounting (paper Sec. 4.3).
   std::vector<NodeHandle> dead_seen;
-  const auto try_alive = [&](NodeHandle h) -> PastryNode* {
+  const auto try_alive = [&](NodeHandle h) -> const PastryNode* {
     if (h == kNoNode) return nullptr;
-    PastryNode* node = find(h);
+    const PastryNode* node = find(h);
     if (node == nullptr) {
       if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
           dead_seen.end()) {
@@ -312,13 +313,13 @@ LookupResult PastryNetwork::lookup(NodeHandle from, dht::KeyHash key) {
   };
 
   // Strictly-improving leaf-set candidate under the numeric metric.
-  const auto best_leaf = [&]() -> PastryNode* {
+  const auto best_leaf = [&]() -> const PastryNode* {
     std::uint64_t best_dist = circular_distance(cur->id, target, space_size_);
     const std::uint64_t cur_cw = clockwise_distance(target, cur->id, space_size_);
-    PastryNode* best = nullptr;
+    const PastryNode* best = nullptr;
     const auto consider = [&](const std::vector<NodeHandle>& entries) {
       for (const NodeHandle h : entries) {
-        PastryNode* cand = try_alive(h);  // stale after ungraceful failures
+        const PastryNode* cand = try_alive(h);  // stale after ungraceful failures
         if (cand == nullptr) continue;
         const std::uint64_t dist =
             circular_distance(cand->id, target, space_size_);
@@ -349,7 +350,7 @@ LookupResult PastryNetwork::lookup(NodeHandle from, dht::KeyHash key) {
 
     // Leaf-set phase: numeric greedy within the leaf span.
     if (leaf_only || key_in_leaf_range(*cur, target)) {
-      PastryNode* leaf = best_leaf();
+      const PastryNode* leaf = best_leaf();
       if (leaf == nullptr) break;  // cur is the numerically closest node
       hop(leaf, kLeaf);
       continue;
@@ -362,7 +363,7 @@ LookupResult PastryNetwork::lookup(NodeHandle from, dht::KeyHash key) {
         cur->routing_table[static_cast<std::size_t>(row)]
                           [static_cast<std::size_t>(digit(target, row))];
     if (entry != kNoNode) {
-      PastryNode* next = try_alive(entry);  // stale entry: departed node
+      const PastryNode* next = try_alive(entry);  // stale entry: departed node
       if (next != nullptr) {
         hop(next, kPrefix);
         continue;
@@ -372,11 +373,11 @@ LookupResult PastryNetwork::lookup(NodeHandle from, dht::KeyHash key) {
     // Rare case: no usable routing entry. Forward to any known node that
     // shares at least as long a prefix and is numerically closer.
     {
-      PastryNode* best = nullptr;
+      const PastryNode* best = nullptr;
       std::uint64_t best_dist = circular_distance(cur->id, target, space_size_);
       const auto consider = [&](NodeHandle h) {
         if (h == kNoNode || h == cur->id) return;
-        PastryNode* cand = try_alive(h);
+        const PastryNode* cand = try_alive(h);
         if (cand == nullptr) return;
         if (shared_prefix_digits(cand->id, target) < row) return;
         const std::uint64_t dist =
@@ -399,13 +400,14 @@ LookupResult PastryNetwork::lookup(NodeHandle from, dht::KeyHash key) {
     }
 
     // Fall back to pure numeric leaf descent.
-    PastryNode* leaf = best_leaf();
+    const PastryNode* leaf = best_leaf();
     if (leaf == nullptr) break;
     hop(leaf, kLeaf);
   }
 
   result.destination = cur->id;
   result.success = true;
+  sink.note(result);
   return result;
 }
 
@@ -463,19 +465,6 @@ void PastryNetwork::stabilize_all() {
     compute_routing_table(*node);
     compute_neighborhood(*node);
   }
-}
-
-void PastryNetwork::reset_query_load() {
-  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
-}
-
-std::vector<std::uint64_t> PastryNetwork::query_loads() const {
-  std::vector<std::uint64_t> loads;
-  loads.reserve(nodes_.size());
-  for (const auto& [id, handle] : ring_) {
-    loads.push_back(find(handle)->queries_received);
-  }
-  return loads;
 }
 
 }  // namespace cycloid::pastry

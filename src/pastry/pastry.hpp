@@ -41,7 +41,6 @@ struct PastryNode {
   std::vector<dht::NodeHandle> leaf_smaller;  // nearest first
   std::vector<dht::NodeHandle> leaf_larger;
   std::vector<dht::NodeHandle> neighborhood;  // closest by proximity
-  std::uint64_t queries_received = 0;
 };
 
 class PastryNetwork final : public dht::DhtNetwork {
@@ -80,19 +79,15 @@ class PastryNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key) override;
+  using dht::DhtNetwork::lookup;
+  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
+                           dht::LookupMetrics& sink) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
   void fail_ungraceful(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
   void stabilize_all() override;
-  void reset_query_load() override;
-  std::vector<std::uint64_t> query_loads() const override;
-  std::uint64_t maintenance_updates() const override {
-    return maintenance_updates_;
-  }
-  void reset_maintenance() override { maintenance_updates_ = 0; }
 
  private:
   PastryNode* find(dht::NodeHandle handle);
@@ -105,9 +100,9 @@ class PastryNetwork final : public dht::DhtNetwork {
   /// ties) — Pastry's key-assignment rule.
   dht::NodeHandle closest_to(std::uint64_t id) const;
 
-  void compute_leaf_sets(PastryNode& node) const;
-  void compute_routing_table(PastryNode& node) const;
-  void compute_neighborhood(PastryNode& node) const;
+  void compute_leaf_sets(PastryNode& node);
+  void compute_routing_table(PastryNode& node);
+  void compute_neighborhood(PastryNode& node);
   void refresh_leafsets_around(std::uint64_t id);
   void unlink(dht::NodeHandle handle);
 
@@ -127,7 +122,6 @@ class PastryNetwork final : public dht::DhtNetwork {
   std::map<std::uint64_t, dht::NodeHandle> ring_;
   std::vector<dht::NodeHandle> handle_vec_;
   std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
-  mutable std::uint64_t maintenance_updates_ = 0;
 };
 
 }  // namespace cycloid::pastry

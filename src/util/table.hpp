@@ -33,6 +33,9 @@ class Table {
 
   std::size_t row_count() const noexcept { return rows_.size(); }
   std::size_t column_count() const noexcept { return headers_.size(); }
+  const std::string& header(std::size_t column) const {
+    return headers_.at(column);
+  }
 
   /// Value of a cell as written (row/column are 0-based, excluding headers).
   const std::string& cell(std::size_t row, std::size_t column) const;

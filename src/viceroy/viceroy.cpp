@@ -52,7 +52,7 @@ bool ViceroyNetwork::insert(double id, int level) {
   if (count_maintenance_) {
     // The newcomer establishes its 7 links and every node whose links now
     // resolve to it must be told (Viceroy updates incoming connections).
-    maintenance_updates_ += 7 + count_referencers(handle);
+    note_maintenance(7 + count_referencers(handle));
   }
   return true;
 }
@@ -202,17 +202,18 @@ NodeHandle ViceroyNetwork::owner_of(dht::KeyHash key) const {
   return successor_at(hash::reduce_unit(key));
 }
 
-LookupResult ViceroyNetwork::lookup(NodeHandle from, dht::KeyHash key) {
+LookupResult ViceroyNetwork::lookup(NodeHandle from, dht::KeyHash key,
+                                    dht::LookupMetrics& sink) const {
   LookupResult result;
-  ViceroyNode* cur = find(from);
+  const ViceroyNode* cur = find(from);
   CYCLOID_EXPECTS(cur != nullptr);
   const double target = hash::reduce_unit(key);
 
   const auto hop = [&](NodeHandle next, Phase phase) {
-    ViceroyNode* node = find(next);
+    const ViceroyNode* node = find(next);
     CYCLOID_ASSERT(node != nullptr);  // links are resolved live
     result.count_hop(phase);
-    ++node->queries_received;
+    sink.count_query(next);
     cur = node;
   };
 
@@ -300,6 +301,7 @@ LookupResult ViceroyNetwork::lookup(NodeHandle from, dht::KeyHash key) {
 
   result.destination = ring_.at(cur->id);
   result.success = true;
+  sink.note(result);
   return result;
 }
 
@@ -320,7 +322,7 @@ void ViceroyNetwork::leave(NodeHandle node) {
   // Departing Viceroy nodes update all incoming and outgoing connections;
   // links are resolved from the live membership, so removal is complete.
   if (count_maintenance_) {
-    maintenance_updates_ += 7 + count_referencers(node);
+    note_maintenance(7 + count_referencers(node));
   }
   unlink(node);
 }
@@ -340,18 +342,5 @@ void ViceroyNetwork::stabilize_one(NodeHandle) {
 }
 
 void ViceroyNetwork::stabilize_all() {}
-
-void ViceroyNetwork::reset_query_load() {
-  for (const auto& [handle, node] : nodes_) node->queries_received = 0;
-}
-
-std::vector<std::uint64_t> ViceroyNetwork::query_loads() const {
-  std::vector<std::uint64_t> loads;
-  loads.reserve(nodes_.size());
-  for (const auto& [id, handle] : ring_) {
-    loads.push_back(find(handle)->queries_received);
-  }
-  return loads;
-}
 
 }  // namespace cycloid::viceroy

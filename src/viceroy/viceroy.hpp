@@ -33,7 +33,6 @@ namespace cycloid::viceroy {
 struct ViceroyNode {
   double id = 0.0;
   int level = 1;
-  std::uint64_t queries_received = 0;
 };
 
 /// Snapshot of a node's seven links, resolved from the live membership.
@@ -75,18 +74,14 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key) override;
+  using dht::DhtNetwork::lookup;
+  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
+                           dht::LookupMetrics& sink) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
   void stabilize_all() override;
-  void reset_query_load() override;
-  std::vector<std::uint64_t> query_loads() const override;
-  std::uint64_t maintenance_updates() const override {
-    return maintenance_updates_;
-  }
-  void reset_maintenance() override { maintenance_updates_ = 0; }
 
   /// Viceroy repairs both outgoing AND incoming connections on every join
   /// and leave (that is why it never times out — and why the paper calls
@@ -111,7 +106,6 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   std::uint64_t count_referencers(dht::NodeHandle handle) const;
 
   bool count_maintenance_ = false;
-  mutable std::uint64_t maintenance_updates_ = 0;
   std::uint64_t next_serial_ = 0;
   std::unordered_map<dht::NodeHandle, std::unique_ptr<ViceroyNode>> nodes_;
   std::map<double, dht::NodeHandle> ring_;

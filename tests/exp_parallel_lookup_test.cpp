@@ -1,0 +1,125 @@
+// Determinism of the sharded parallel lookup batch (exp::run_lookup_batch):
+// the fixed shard size, per-shard splitmix64-derived RNG streams, and
+// index-ordered merge must make the result bit-identical at any thread
+// count — including the per-node query-load vector and, for Koorde, the
+// repair-on-timeout learnings. Also checks the const contract: a batch
+// never mutates the network it routes over.
+#include "exp/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "dht/network.hpp"
+#include "exp/overlays.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::exp {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xDE7E12318A7C4ULL;
+
+std::uint64_t total_query_load(const dht::DhtNetwork& net) {
+  const auto loads = net.query_loads();
+  return std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+}
+
+void expect_identical(const WorkloadStats& a, const WorkloadStats& b,
+                      const dht::DhtNetwork& net) {
+  EXPECT_EQ(a.lookups, b.lookups);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.incorrect, b.incorrect);
+
+  // Sample vectors compare elementwise: merge order is part of the contract.
+  EXPECT_EQ(a.path_length.samples(), b.path_length.samples());
+  EXPECT_EQ(a.timeouts.samples(), b.timeouts.samples());
+
+  EXPECT_EQ(a.metrics.lookups, b.metrics.lookups);
+  EXPECT_EQ(a.metrics.hops, b.metrics.hops);
+  EXPECT_EQ(a.metrics.timeouts, b.metrics.timeouts);
+  EXPECT_EQ(a.metrics.failures, b.metrics.failures);
+  EXPECT_EQ(a.metrics.guard_fallbacks, b.metrics.guard_fallbacks);
+  EXPECT_EQ(a.metrics.phase_hops, b.metrics.phase_hops);
+  EXPECT_EQ(a.metrics.mean_path(), b.metrics.mean_path());
+
+  EXPECT_EQ(a.metrics.query_load_vector(net), b.metrics.query_load_vector(net));
+  EXPECT_EQ(a.metrics.learned_links(), b.metrics.learned_links());
+  EXPECT_EQ(a.metrics.broken_links(), b.metrics.broken_links());
+}
+
+TEST(ParallelLookupBatch, CycloidBitIdenticalAcrossThreadCounts) {
+  auto net = make_dense_overlay(OverlayKind::kCycloid7, 8, kSeed);  // 2048
+  ASSERT_EQ(net->node_count(), 2048u);
+
+  // > 2 shards so the merge order actually matters.
+  const std::uint64_t count = 3 * kLookupShardSize;
+  const auto seq = run_lookup_batch(*net, count, kSeed + 1, 1);
+  const auto par = run_lookup_batch(*net, count, kSeed + 1, 8);
+
+  EXPECT_EQ(seq.lookups, count);
+  expect_identical(seq, par, *net);
+}
+
+TEST(ParallelLookupBatch, ChordBitIdenticalAcrossThreadCounts) {
+  auto net = make_dense_overlay(OverlayKind::kChord, 8, kSeed);  // 2048
+  ASSERT_EQ(net->node_count(), 2048u);
+
+  const std::uint64_t count = 3 * kLookupShardSize;
+  const auto seq = run_lookup_batch(*net, count, kSeed + 2, 1);
+  const auto par = run_lookup_batch(*net, count, kSeed + 2, 8);
+
+  EXPECT_EQ(seq.lookups, count);
+  expect_identical(seq, par, *net);
+}
+
+TEST(ParallelLookupBatch, KoordeRepairLearningsDeterministicUnderFailures) {
+  // Mass departure makes Koorde's lookups hit dead de Bruijn pointers, so
+  // shards learn backup promotions into their sinks; those learnings must
+  // merge identically at any thread count.
+  auto net = make_dense_overlay(OverlayKind::kKoorde, 7, kSeed);  // 896
+  util::Rng fail_rng(kSeed + 3);
+  net->fail_simultaneously(0.3, fail_rng);
+
+  const std::uint64_t count = 2 * kLookupShardSize;
+  const auto seq = run_lookup_batch(*net, count, kSeed + 4, 1);
+  const auto par = run_lookup_batch(*net, count, kSeed + 4, 4);
+
+  expect_identical(seq, par, *net);
+}
+
+TEST(ParallelLookupBatch, PartialLastShardAndZeroCount) {
+  auto net = make_dense_overlay(OverlayKind::kCycloid7, 6, kSeed);  // 384
+
+  const std::uint64_t count = kLookupShardSize + 37;
+  const auto seq = run_lookup_batch(*net, count, kSeed + 5, 1);
+  const auto par = run_lookup_batch(*net, count, kSeed + 5, 16);
+  EXPECT_EQ(seq.lookups, count);
+  expect_identical(seq, par, *net);
+
+  const auto empty = run_lookup_batch(*net, 0, kSeed + 6, 4);
+  EXPECT_EQ(empty.lookups, 0u);
+  EXPECT_EQ(empty.metrics.hops, 0u);
+}
+
+TEST(ParallelLookupBatch, BatchDoesNotMutateTheNetwork) {
+  auto net = make_dense_overlay(OverlayKind::kCycloid7, 7, kSeed);  // 896
+  net->reset_query_load();
+
+  const auto stats = run_lookup_batch(*net, 2 * kLookupShardSize, kSeed + 7, 4);
+  EXPECT_GT(stats.metrics.hops, 0u);
+
+  // All accounting stayed in the caller-owned sink; the network-resident
+  // registry (served by the legacy adapters) saw none of it.
+  EXPECT_EQ(total_query_load(*net), 0u);
+  EXPECT_EQ(net->metrics().lookups.lookups, 0u);
+
+  // The sequential convenience wrapper, by contrast, absorbs into the net.
+  util::Rng rng(kSeed + 8);
+  net->lookup(net->random_node(rng), rng());
+  EXPECT_EQ(net->metrics().lookups.lookups, 1u);
+  EXPECT_GT(total_query_load(*net), 0u);
+}
+
+}  // namespace
+}  // namespace cycloid::exp
