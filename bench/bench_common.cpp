@@ -5,6 +5,8 @@
 #include <iostream>
 #include <utility>
 
+#include "dht/types.hpp"
+#include "exp/workloads.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 
@@ -72,6 +74,50 @@ void Report::section(const std::string& title, const util::Table& table) {
 void Report::note(const std::string& text) {
   std::cout << text;
   notes_.push_back(text);
+}
+
+namespace {
+
+const char* status_label(dht::LookupStatus status) {
+  switch (status) {
+    case dht::LookupStatus::kDelivered: return "delivered";
+    case dht::LookupStatus::kFailed: return "failed";
+    case dht::LookupStatus::kHopLimit: return "hop-limit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Report::route_traces(const std::vector<exp::OverlayKind>& kinds,
+                          int cycloid_dim) {
+  const std::uint64_t count = env_u64("CYCLOID_BENCH_TRACE_ROUTES", 0);
+  if (count == 0) return;
+  for (const exp::OverlayKind kind : kinds) {
+    const auto net = exp::make_dense_overlay(kind, cycloid_dim, kBenchSeed);
+    const auto samples = exp::sample_routes(*net, count, kBenchSeed + 99);
+    util::Table table(
+        {"source", "hops", "timeouts", "status", "latency", "route"});
+    for (const exp::RouteSample& sample : samples) {
+      std::string route = std::to_string(sample.source);
+      for (const dht::TraceStep& step : sample.trace) {
+        route += " -";
+        route += step.link;
+        route += "-> ";
+        route += std::to_string(step.node);
+      }
+      table.row()
+          .add(sample.source)
+          .add(sample.result.hops)
+          .add(sample.result.timeouts)
+          .add(status_label(sample.result.status))
+          .add(sample.latency(), 3)
+          .add(route);
+    }
+    section("Sample routes: " + exp::overlay_label(kind) + " (dense, d=" +
+                std::to_string(cycloid_dim) + ")",
+            table);
+  }
 }
 
 namespace {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/overlays.hpp"
 #include "util/table.hpp"
 
 namespace cycloid::bench {
@@ -81,6 +82,13 @@ class Report {
 
   /// Print free-form text to stdout and record it under "notes".
   void note(const std::string& text);
+
+  /// Append one "sample routes" section per overlay kind: per-hop engine
+  /// traces (dht::RouterOptions::trace) of CYCLOID_BENCH_TRACE_ROUTES random
+  /// lookups in the dense d = `cycloid_dim` network. Off by default
+  /// (env var unset or 0), so the regular figure output stays byte-stable.
+  void route_traces(const std::vector<exp::OverlayKind>& kinds,
+                    int cycloid_dim);
 
  private:
   struct Section {

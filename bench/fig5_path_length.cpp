@@ -36,5 +36,7 @@ int main(int argc, char** argv) {
   report.note("\n(paper shape: Viceroy > 2x Cycloid at every size; Cycloid\n"
               " is the shortest constant-degree DHT; lookups = min(n^2/4, " +
               std::to_string(bench::lookup_cap()) + ") per cell)\n");
+  // Engine-level per-hop traces (set CYCLOID_BENCH_TRACE_ROUTES=N).
+  report.route_traces(exp::all_overlays(), 5);
   return 0;
 }

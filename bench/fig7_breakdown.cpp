@@ -55,5 +55,9 @@ int main(int argc, char** argv) {
   report.note("\n(paper shape: Cycloid's ascending <= ~15% vs ~30% in\n"
               " Viceroy; Viceroy spends >half in the traverse-ring phase;\n"
               " Koorde's successor hops are ~30% when dense)\n");
+  // Engine-level per-hop traces (set CYCLOID_BENCH_TRACE_ROUTES=N).
+  report.route_traces({exp::OverlayKind::kCycloid7, exp::OverlayKind::kViceroy,
+                       exp::OverlayKind::kKoorde},
+                      5);
   return 0;
 }

@@ -318,65 +318,78 @@ NodeHandle CanNetwork::owner_of(dht::KeyHash key) const {
   return node_at(point_from_hash(key));
 }
 
-LookupResult CanNetwork::lookup(NodeHandle from, dht::KeyHash key,
-                                dht::LookupMetrics& sink) const {
-  LookupResult result;
-  const CanNode* cur = find(from);
-  NodeHandle cur_handle = from;
-  CYCLOID_EXPECTS(cur != nullptr);
-  const Point target = point_from_hash(key);
+bool CanNetwork::node_owns_point(NodeHandle handle, const Point& p) const {
+  const CanNode& node = node_state(handle);
+  for (const Zone& zone : node.zones) {
+    if (zone_contains(zone, p)) return true;
+  }
+  return false;
+}
 
-  // Zones tile the torus, so the zone across the face toward the target is
-  // a neighbour and is strictly nearer — greedy routing converges. The
-  // visited set only matters in the measure-zero case where the geodesic
-  // exits exactly through a corner (the diagonal zone is not a neighbour);
-  // an equal-distance sidestep then restores progress.
-  std::vector<NodeHandle> visited = {from};
+double CanNetwork::node_distance2(NodeHandle handle, const Point& p) const {
+  return node_distance2(node_state(handle), p);
+}
 
-  while (true) {
-    bool owns = false;
-    for (const Zone& zone : cur->zones) owns |= zone_contains(zone, target);
-    if (owns) break;
+namespace {
 
-    NodeHandle best_handle = kNoNode;
-    const CanNode* best = nullptr;
-    const double cur_dist = node_distance2(*cur, target);
+/// CAN's step policy: greedily forward to the neighbour whose zone is
+/// nearest the target point. Zones tile the torus, so the zone across the
+/// face toward the target is a neighbour and is strictly nearer — greedy
+/// routing converges. The engine's visited tracking only matters in the
+/// measure-zero case where the geodesic exits exactly through a corner (the
+/// diagonal zone is not a neighbour); an equal-distance sidestep then
+/// restores progress.
+class CanStepPolicy final : public dht::StepPolicy {
+ public:
+  CanStepPolicy(const CanNetwork& net, const Point& target)
+      : net_(net), target_(target) {}
+
+  bool alive(NodeHandle node) const override { return net_.contains(node); }
+  /// Continuous identifier space: 8 * the 64 bits of the key hash.
+  int default_max_hops() const override { return 8 * 64; }
+  bool track_visited() const override { return true; }
+
+  dht::HopDecision next_hop(const dht::RouteState& state) override {
+    const NodeHandle self = state.current();
+    if (net_.node_owns_point(self, target_)) {
+      return dht::HopDecision::deliver();
+    }
+
+    const CanNode& cur = net_.node_state(self);
+    NodeHandle best = kNoNode;
+    const double cur_dist = net_.node_distance2(self, target_);
     double best_dist = cur_dist;
-    NodeHandle side_handle = kNoNode;
-    const CanNode* side = nullptr;
-    for (const NodeHandle n : cur->neighbors) {
-      const CanNode* cand = find(n);
-      CYCLOID_ASSERT(cand != nullptr);  // adjacency is maintained eagerly
-      const double dist = node_distance2(*cand, target);
+    NodeHandle side = kNoNode;
+    for (const NodeHandle n : cur.neighbors) {
+      const double dist = net_.node_distance2(n, target_);
       if (dist < best_dist) {
         best_dist = dist;
-        best = cand;
-        best_handle = n;
-      } else if (dist == cur_dist && side == nullptr &&
-                 std::find(visited.begin(), visited.end(), n) ==
-                     visited.end()) {
-        side = cand;
-        side_handle = n;
+        best = n;
+      } else if (dist == cur_dist && side == kNoNode &&
+                 !state.was_visited(n)) {
+        side = n;
       }
     }
-    if (best == nullptr && side != nullptr) {
-      best = side;
-      best_handle = side_handle;
+    if (best == kNoNode && side != kNoNode) best = side;
+    if (best == kNoNode) {
+      return dht::HopDecision::fail();  // stuck (should not happen)
     }
-    if (best == nullptr) {
-      result.success = false;  // stuck (should not happen; tests verify)
-      break;
-    }
-    result.count_hop(kGreedy);
-    sink.count_query(best_handle);
-    cur = best;
-    cur_handle = best_handle;
-    visited.push_back(best_handle);
+    return dht::HopDecision::forward(best, CanNetwork::kGreedy, "neighbor");
   }
 
-  result.destination = cur_handle;
-  sink.note(result);
-  return result;
+ private:
+  const CanNetwork& net_;
+  const Point target_;
+};
+
+}  // namespace
+
+LookupResult CanNetwork::route(NodeHandle from, dht::KeyHash key,
+                               dht::LookupMetrics& sink,
+                               const dht::RouterOptions& options) const {
+  CYCLOID_EXPECTS(contains(from));
+  CanStepPolicy policy(*this, point_from_hash(key));
+  return dht::Router::run(policy, from, sink, options);
 }
 
 NodeHandle CanNetwork::join(std::uint64_t seed) {

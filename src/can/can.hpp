@@ -74,6 +74,11 @@ class CanNetwork final : public dht::DhtNetwork {
   /// Zone volume owned by a node (1.0 totals across the network).
   double volume_of(dht::NodeHandle handle) const;
 
+  /// True when one of the node's zones contains `p`.
+  bool node_owns_point(dht::NodeHandle handle, const Point& p) const;
+  /// Squared torus distance from the node's nearest zone to `p`.
+  double node_distance2(dht::NodeHandle handle, const Point& p) const;
+
   /// Structural invariants (zones tile the torus, adjacency is symmetric
   /// and correct) — cheap enough for tests to call after every operation.
   bool check_invariants() const;
@@ -88,9 +93,9 @@ class CanNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  using dht::DhtNetwork::lookup;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
-                           dht::LookupMetrics& sink) const override;
+  dht::LookupResult route(dht::NodeHandle from, dht::KeyHash key,
+                          dht::LookupMetrics& sink,
+                          const dht::RouterOptions& options) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;

@@ -182,101 +182,90 @@ NodeHandle ChordNetwork::owner_of(dht::KeyHash key) const {
   return successor_of(key % space_size_);
 }
 
-LookupResult ChordNetwork::lookup(NodeHandle from, dht::KeyHash key,
-                                  dht::LookupMetrics& sink) const {
-  LookupResult result;
-  const ChordNode* cur = find(from);
-  CYCLOID_EXPECTS(cur != nullptr);
-  const std::uint64_t target = key % space_size_;
+namespace {
 
-  // Distinct-departed-node timeout accounting (one timeout per departed
-  // node encountered, paper Sec. 4.3).
-  std::vector<NodeHandle> dead_seen;
-  const auto try_alive = [&](NodeHandle h) -> const ChordNode* {
-    if (h == kNoNode) return nullptr;
-    const ChordNode* node = find(h);
-    if (node == nullptr) {
-      if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
-          dead_seen.end()) {
-        dead_seen.push_back(h);
-        ++result.timeouts;
-      }
-      return nullptr;
-    }
-    return node;
-  };
+/// Chord's step policy: greedy closest-preceding-finger routing with the
+/// successor list as the robustness fallback.
+class ChordStepPolicy final : public dht::StepPolicy {
+ public:
+  ChordStepPolicy(const ChordNetwork& net, std::uint64_t target)
+      : net_(net), target_(target) {}
 
-  const auto hop = [&](const ChordNode* next, Phase phase) {
-    result.count_hop(phase);
-    sink.count_query(next->id);
-    cur = next;
-  };
+  bool alive(NodeHandle node) const override { return net_.contains(node); }
+  int default_max_hops() const override { return 8 * net_.bits(); }
 
-  while (true) {
+  dht::HopDecision next_hop(const dht::RouteState& state) override {
+    const std::uint64_t space = net_.space_size();
+    const ChordNode& cur = net_.node_state(state.current());
+
     // Owner check: key in (predecessor, cur].
-    if (cur->predecessor == cur->id ||  // singleton ring
-        in_half_open_cw(target, cur->predecessor, cur->id, space_size_)) {
-      break;
+    if (cur.predecessor == cur.id ||  // singleton ring
+        in_half_open_cw(target_, cur.predecessor, cur.id, space)) {
+      return dht::HopDecision::deliver();
     }
 
     // First live entry of the successor list (always the first entry after
     // graceful departures; later ones only after ungraceful ones).
-    const ChordNode* succ = nullptr;
-    for (const NodeHandle sh : cur->successors) {
-      succ = try_alive(sh);
-      if (succ != nullptr) break;
+    NodeHandle succ = kNoNode;
+    for (const NodeHandle sh : cur.successors) {
+      if (state.attempt(sh)) {
+        succ = sh;
+        break;
+      }
     }
-    if (succ == nullptr) {
+    if (succ == kNoNode) {
       // Whole successor list dead (ungraceful mass departure): stuck.
-      result.success = false;
-      break;
+      return dht::HopDecision::fail();
     }
 
-    // Final step: key in (cur, successor] -> the successor stores it.
-    if (in_half_open_cw(target, cur->id, succ->id, space_size_)) {
-      hop(succ, kSuccessor);
-      break;
+    // Final step: key in (cur, successor] -> the successor stores it. The
+    // sender's view decides (forward_deliver): the successor's own
+    // predecessor pointer may be stale after ungraceful departures and
+    // must not bounce the key back into routing.
+    if (in_half_open_cw(target_, cur.id, succ, space)) {
+      return dht::HopDecision::forward_deliver(succ, ChordNetwork::kSuccessor,
+                                               "successor");
     }
 
     // Greedy: highest finger in (cur, target); stale (departed) fingers
     // cost a timeout and are skipped.
-    const ChordNode* next = nullptr;
-    for (int i = bits_ - 1; i >= 0; --i) {
-      const NodeHandle fh = cur->fingers[static_cast<std::size_t>(i)];
-      if (fh == kNoNode || fh == cur->id) continue;
-      if (!in_half_open_cw(fh, cur->id, (target + space_size_ - 1) % space_size_,
-                           space_size_)) {
+    for (int i = net_.bits() - 1; i >= 0; --i) {
+      const NodeHandle fh = cur.fingers[static_cast<std::size_t>(i)];
+      if (fh == kNoNode || fh == cur.id) continue;
+      if (!in_half_open_cw(fh, cur.id, (target_ + space - 1) % space, space)) {
         continue;  // finger not in (cur, target)
       }
-      const ChordNode* cand = try_alive(fh);
-      if (cand == nullptr) continue;
-      next = cand;
-      break;
-    }
-    if (next != nullptr) {
-      hop(next, kFinger);
-      continue;
+      if (!state.attempt(fh)) continue;
+      return dht::HopDecision::forward(fh, ChordNetwork::kFinger, "finger");
     }
 
     // All useful fingers dead or void: advance along the successor list.
-    const ChordNode* best = nullptr;
-    for (const NodeHandle sh : cur->successors) {
-      const ChordNode* cand = try_alive(sh);
-      if (cand == nullptr || cand->id == cur->id) continue;
-      if (!in_half_open_cw(cand->id, cur->id,
-                           (target + space_size_ - 1) % space_size_,
-                           space_size_)) {
+    NodeHandle best = kNoNode;
+    for (const NodeHandle sh : cur.successors) {
+      if (!state.attempt(sh) || sh == cur.id) continue;
+      if (!in_half_open_cw(sh, cur.id, (target_ + space - 1) % space, space)) {
         continue;
       }
-      best = cand;  // successors are ordered; keep the farthest valid one
+      best = sh;  // successors are ordered; keep the farthest valid one
     }
-    if (best == nullptr) best = succ;
-    hop(best, kSuccessor);
+    if (best == kNoNode) best = succ;
+    return dht::HopDecision::forward(best, ChordNetwork::kSuccessor,
+                                     "successor-list");
   }
 
-  result.destination = cur->id;
-  sink.note(result);
-  return result;
+ private:
+  const ChordNetwork& net_;
+  const std::uint64_t target_;
+};
+
+}  // namespace
+
+LookupResult ChordNetwork::route(NodeHandle from, dht::KeyHash key,
+                                 dht::LookupMetrics& sink,
+                                 const dht::RouterOptions& options) const {
+  CYCLOID_EXPECTS(contains(from));
+  ChordStepPolicy policy(*this, key % space_size_);
+  return dht::Router::run(policy, from, sink, options);
 }
 
 NodeHandle ChordNetwork::join(std::uint64_t seed) {

@@ -383,184 +383,169 @@ dht::NodeHandle CycloidNetwork::owner_of(dht::KeyHash key) const {
 // --------------------------------------------------------------------------
 // Lookup routing (paper Sec. 3.2, Fig. 3)
 
-LookupResult CycloidNetwork::lookup(NodeHandle from, dht::KeyHash key,
-                                    dht::LookupMetrics& sink) const {
-  return lookup_id(from, key_id(key), sink);
-}
+namespace {
 
-LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
-                                       dht::LookupMetrics& sink,
-                                       std::vector<RouteStep>* trace) const {
-  LookupResult result;
-  int timeouts_at_last_hop = 0;
-  const CycloidNode* cur = find(from);
-  CYCLOID_EXPECTS(cur != nullptr);
+/// Cycloid's step policy: the three-phase algorithm of paper Sec. 3.2
+/// (ascending / descending / traverse cycle) with the leaf sets as the
+/// universal fallback. Ascending/descending moves may legitimately increase
+/// the numeric distance to the key, so they skip already-visited nodes
+/// (engine-tracked) to rule out ping-pong in sparse networks; the traverse
+/// moves strictly decrease it and need no such check.
+class CycloidStepPolicy final : public dht::StepPolicy {
+ public:
+  CycloidStepPolicy(const CycloidNetwork& net, const CccId& key)
+      : net_(net), key_(key) {}
 
-  const int d = space_.dimension();
-  // The three phases are each O(d); give the phase algorithm a generous
-  // budget and fall back to pure greedy leaf-set descent beyond it.
-  const int phase_budget = 8 * d + 16;
-  bool guard_mode = false;
-  int steps = 0;
+  bool alive(NodeHandle node) const override { return net_.contains(node); }
+  int default_max_hops() const override {
+    return 8 * util::ceil_log2(net_.space().size());
+  }
+  /// The three phases are each O(d); give the phase algorithm a generous
+  /// budget and fall back to pure greedy leaf-set descent beyond it.
+  int fallback_budget() const override {
+    return 8 * net_.space().dimension() + 16;
+  }
+  bool track_visited() const override { return true; }
+  double link_latency(NodeHandle a, NodeHandle b) const override {
+    return net_.link_latency(a, b);
+  }
 
-  // Nodes the lookup has passed through. Ascending/descending moves may
-  // legitimately increase the numeric distance to the key, so they skip
-  // already-visited nodes to rule out ping-pong in sparse networks; the
-  // traverse moves strictly decrease it and need no such check.
-  std::vector<NodeHandle> visited;
-  visited.push_back(from);
-  const auto was_visited = [&](NodeHandle h) {
-    return std::find(visited.begin(), visited.end(), h) != visited.end();
-  };
-
-  // Contact attempt against a possibly-departed entry; the first attempt
-  // against each distinct departed node costs a timeout (paper Sec. 4.3:
-  // "the number of timeouts experienced by a lookup is equal to the number
-  // of departed nodes encountered") and the entry is skipped.
-  std::vector<NodeHandle> dead_seen;
-  const auto try_alive = [&](NodeHandle h) -> const CycloidNode* {
-    if (h == kNoNode) return nullptr;
-    const CycloidNode* node = find(h);
-    if (node == nullptr) {
-      if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
-          dead_seen.end()) {
-        dead_seen.push_back(h);
-        ++result.timeouts;
-      }
-      return nullptr;
-    }
-    return node;
-  };
-
-  while (true) {
-    if (steps++ > phase_budget && !guard_mode) {
-      guard_mode = true;
-      ++sink.guard_fallbacks;
-    }
-
-    const std::uint64_t cur_rank = space_.closeness_rank(key, cur->id);
+  dht::HopDecision next_hop(const dht::RouteState& state) override {
+    const CccSpace& space = net_.space();
+    const CycloidNode& cur = net_.node_state(state.current());
+    const std::uint64_t cur_rank = space.closeness_rank(key_, cur.id);
 
     // Best strictly-improving leaf-set member (the traverse-cycle move and
     // the universal fallback). Graceful departures keep leaf sets alive;
     // after UNGRACEFUL departures a leaf entry may be dead, which costs a
     // timeout on first contact.
-    const CycloidNode* best_leaf = nullptr;
+    NodeHandle best_leaf = kNoNode;
     std::uint64_t best_leaf_rank = cur_rank;
-    for (const NodeHandle h : leaf_candidates(*cur)) {
-      const CycloidNode* cand = try_alive(h);
-      if (cand == nullptr) continue;
-      const std::uint64_t rank = space_.closeness_rank(key, cand->id);
+    for (const NodeHandle h : net_.leaf_candidates(cur)) {
+      if (!state.attempt(h)) continue;
+      const std::uint64_t rank =
+          space.closeness_rank(key_, CycloidNetwork::id_of(h));
       if (rank < best_leaf_rank) {
         best_leaf_rank = rank;
-        best_leaf = cand;
+        best_leaf = h;
       }
     }
 
-    const auto hop = [&](const CycloidNode* next, Phase phase,
-                         const char* link) {
-      result.count_hop(phase);
-      sink.count_query(handle_of(next->id));
-      cur = next;
-      visited.push_back(handle_of(next->id));
-      if (trace != nullptr) {
-        trace->push_back(RouteStep{handle_of(next->id), phase, link,
-                                   result.timeouts - timeouts_at_last_hop});
+    // Traverse-cycle phase: the target is within the leaf sets' span (or
+    // the engine flipped us into guard mode) — forward to the numerically
+    // closest leaf until the closest node is the current node itself.
+    if (state.fallback() || net_.key_in_leaf_range(cur, key_)) {
+      if (best_leaf == kNoNode) {
+        return dht::HopDecision::deliver();  // cur is the owner by local view
       }
-      timeouts_at_last_hop = result.timeouts;
-    };
-
-    // Traverse-cycle phase: the target is within the leaf sets' span (or we
-    // are in guard mode) — forward to the numerically closest leaf until the
-    // closest node is the current node itself.
-    if (guard_mode || key_in_leaf_range(*cur, key)) {
-      if (best_leaf == nullptr) break;  // cur is the owner by local view
-      hop(best_leaf, kTraverse, "leaf-set");
-      continue;
+      return dht::HopDecision::forward(best_leaf, CycloidNetwork::kTraverse,
+                                       "leaf-set");
     }
 
-    const int target_msdb = space_.msdb(cur->id.cubical, key.cubical);
+    const int target_msdb = space.msdb(cur.id.cubical, key_.cubical);
     CYCLOID_ASSERT(target_msdb >= 0);  // equal cubical handled above
-    const auto k = static_cast<int>(cur->id.cyclic);
+    const auto k = static_cast<int>(cur.id.cyclic);
 
     if (k < target_msdb) {
       // Ascending: forward to the outside-leaf-set node with the higher
       // cyclic index whose cubical index is numerically closest to the key.
-      const CycloidNode* best = nullptr;
+      NodeHandle best = kNoNode;
       std::uint64_t best_dist = ~0ULL;
       const auto consider = [&](const std::vector<NodeHandle>& entries) {
         for (const NodeHandle h : entries) {
-          if (h == kNoNode || was_visited(h)) continue;
-          const CycloidNode* cand = try_alive(h);
-          if (cand == nullptr) continue;
-          if (static_cast<int>(cand->id.cyclic) <= k) continue;
+          if (h == kNoNode || state.was_visited(h)) continue;
+          if (!state.attempt(h)) continue;
+          const CccId cand = CycloidNetwork::id_of(h);
+          if (static_cast<int>(cand.cyclic) <= k) continue;
           const std::uint64_t dist =
-              space_.cubical_distance(cand->id.cubical, key.cubical);
+              space.cubical_distance(cand.cubical, key_.cubical);
           if (dist < best_dist) {
             best_dist = dist;
-            best = cand;
+            best = h;
           }
         }
       };
-      consider(cur->outside_pred);
-      consider(cur->outside_succ);
-      if (best != nullptr) {
-        hop(best, kAscend, "outside-leaf");
-        continue;
+      consider(cur.outside_pred);
+      consider(cur.outside_succ);
+      if (best != kNoNode) {
+        return dht::HopDecision::forward(best, CycloidNetwork::kAscend,
+                                         "outside-leaf");
       }
       // No higher-level outside neighbor (degenerate sparse cycles): fall
       // through to the leaf-set fallback below.
     } else if (k == target_msdb) {
       // Descending, cube edge: the cubical neighbor flips bit k, extending
       // the shared prefix with the key by at least one bit.
-      const CycloidNode* cube = was_visited(cur->cubical_neighbor)
-                                    ? nullptr
-                                    : try_alive(cur->cubical_neighbor);
-      if (cube != nullptr &&
-          space_.msdb(cube->id.cubical, key.cubical) < target_msdb) {
-        hop(cube, kDescend, "cubical");
-        continue;
+      const NodeHandle cube = cur.cubical_neighbor;
+      if (!state.was_visited(cube) && state.attempt(cube) &&
+          space.msdb(CycloidNetwork::id_of(cube).cubical, key_.cubical) <
+              target_msdb) {
+        return dht::HopDecision::forward(cube, CycloidNetwork::kDescend,
+                                         "cubical");
       }
       // Dead or missing cube edge: leaf-set fallback below.
     } else {
       // Descending, cycle edge: among the cyclic neighbors and the inside
       // leaf set, pick the node with cyclic index in [MSDB, k) that keeps
       // the shared prefix and is cubically closest to the key.
-      const CycloidNode* best = nullptr;
+      NodeHandle best = kNoNode;
       std::uint64_t best_dist = ~0ULL;
       const auto consider = [&](NodeHandle h) {
-        if (h != kNoNode && was_visited(h)) return;
-        const CycloidNode* cand = try_alive(h);
-        if (cand == nullptr) return;
-        const auto ck = static_cast<int>(cand->id.cyclic);
+        if (h != kNoNode && state.was_visited(h)) return;
+        if (!state.attempt(h)) return;
+        const CccId cand = CycloidNetwork::id_of(h);
+        const auto ck = static_cast<int>(cand.cyclic);
         if (ck < target_msdb || ck >= k) return;
-        if (space_.msdb(cand->id.cubical, key.cubical) > target_msdb) return;
+        if (space.msdb(cand.cubical, key_.cubical) > target_msdb) return;
         const std::uint64_t dist =
-            space_.cubical_distance(cand->id.cubical, key.cubical);
+            space.cubical_distance(cand.cubical, key_.cubical);
         if (dist < best_dist) {
           best_dist = dist;
-          best = cand;
+          best = h;
         }
       };
-      consider(cur->cyclic_larger);
-      consider(cur->cyclic_smaller);
-      for (const NodeHandle h : cur->inside_pred) consider(h);
-      for (const NodeHandle h : cur->inside_succ) consider(h);
-      if (best != nullptr) {
-        hop(best, kDescend, "cyclic/inside");
-        continue;
+      consider(cur.cyclic_larger);
+      consider(cur.cyclic_smaller);
+      for (const NodeHandle h : cur.inside_pred) consider(h);
+      for (const NodeHandle h : cur.inside_succ) consider(h);
+      if (best != kNoNode) {
+        return dht::HopDecision::forward(best, CycloidNetwork::kDescend,
+                                         "cyclic/inside");
       }
     }
 
     // Phase move unavailable (void or faulty links): "the message can be
     // forwarded to a node in the leaf sets" (paper Sec. 3.2).
-    if (best_leaf == nullptr) break;
-    hop(best_leaf, kTraverse, "leaf-fallback");
+    if (best_leaf == kNoNode) {
+      return dht::HopDecision::deliver();  // terminate at a live node
+    }
+    return dht::HopDecision::forward(best_leaf, CycloidNetwork::kTraverse,
+                                     "leaf-fallback");
   }
 
-  result.destination = handle_of(cur->id);
-  result.success = true;  // Cycloid lookups always terminate at a live node
-  sink.note(result);
-  return result;
+ private:
+  const CycloidNetwork& net_;
+  const CccId key_;
+};
+
+}  // namespace
+
+LookupResult CycloidNetwork::route(NodeHandle from, dht::KeyHash key,
+                                   dht::LookupMetrics& sink,
+                                   const dht::RouterOptions& options) const {
+  CYCLOID_EXPECTS(contains(from));
+  CycloidStepPolicy policy(*this, key_id(key));
+  return dht::Router::run(policy, from, sink, options);
+}
+
+LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
+                                       dht::LookupMetrics& sink,
+                                       std::vector<RouteStep>* trace) const {
+  CYCLOID_EXPECTS(contains(from));
+  dht::RouterOptions options;
+  options.trace = trace;
+  CycloidStepPolicy policy(*this, key);
+  return dht::Router::run(policy, from, sink, options);
 }
 
 // --------------------------------------------------------------------------

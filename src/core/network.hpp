@@ -80,13 +80,19 @@ class CycloidNetwork final : public dht::DhtNetwork {
   /// Owner of an explicit CCC position (ground truth, global knowledge).
   dht::NodeHandle owner_of_id(const CccId& key) const;
 
-  /// One forwarding step of a traced lookup.
-  struct RouteStep {
-    dht::NodeHandle node;        ///< node the request was forwarded to
-    std::size_t phase;           ///< Phase slot that accounted the hop
-    const char* link;            ///< routing entry followed (static string)
-    int timeouts_before;         ///< departed entries skipped at the sender
-  };
+  /// All live leaf-set entries of `node` (inside + outside), deduplicated
+  /// (exposed for the step policy).
+  std::vector<dht::NodeHandle> leaf_candidates(const CycloidNode& node) const;
+
+  /// True when key's cycle lies within the cubical span covered by the
+  /// node's outside leaf set (the paper's "target ID is within the leaf
+  /// sets" traverse-phase trigger).
+  bool key_in_leaf_range(const CycloidNode& node, const CccId& key) const;
+
+  /// One forwarding step of a traced lookup. Now the engine-level trace
+  /// record (every overlay traces through dht::Router); the name is kept
+  /// for the pre-engine call sites.
+  using RouteStep = dht::TraceStep;
 
   /// Routing support: lookup toward an explicit CCC position, accounting
   /// into `sink`. When `trace` is non-null, every forwarding step is
@@ -129,9 +135,9 @@ class CycloidNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  using dht::DhtNetwork::lookup;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
-                           dht::LookupMetrics& sink) const override;
+  dht::LookupResult route(dht::NodeHandle from, dht::KeyHash key,
+                          dht::LookupMetrics& sink,
+                          const dht::RouterOptions& options) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
@@ -158,14 +164,6 @@ class CycloidNetwork final : public dht::DhtNetwork {
   /// neighbourhood around cubical index `cubical` — the set of nodes whose
   /// leaf sets a join/leave at that cycle can affect.
   void refresh_leafsets_around(std::uint64_t cubical);
-
-  /// All live leaf-set entries of `node` (inside + outside), deduplicated.
-  std::vector<dht::NodeHandle> leaf_candidates(const CycloidNode& node) const;
-
-  /// True when key's cycle lies within the cubical span covered by the
-  /// node's outside leaf set (the paper's "target ID is within the leaf
-  /// sets" traverse-phase trigger).
-  bool key_in_leaf_range(const CycloidNode& node, const CccId& key) const;
 
   /// Primary node (largest cyclic index) of the cycle at `cubical`.
   dht::NodeHandle primary_of_cycle(std::uint64_t cubical) const;

@@ -8,13 +8,18 @@
 //
 // Routing core vs. mutation plane
 // -------------------------------
-// The routing hot path is const: `lookup(from, key, sink)` only reads the
-// membership and per-node routing state, and writes every side effect —
-// hops, timeouts, per-node query load, learned repair promotions — into the
-// caller-owned LookupMetrics sink. Concurrent lookups against the same
-// network (each thread with its own sink) are therefore data-race-free, as
-// long as no mutation-plane call (join/leave/fail_*/stabilize_*/absorb or
+// The routing hot path is const: `route(from, key, sink, options)` only
+// reads the membership and per-node routing state, and writes every side
+// effect — hops, timeouts, per-node query load, learned repair promotions —
+// into the caller-owned LookupMetrics sink. Concurrent lookups against the
+// same network (each thread with its own sink) are therefore data-race-free,
+// as long as no mutation-plane call (join/leave/fail_*/stabilize_*/absorb or
 // the 2-arg lookup wrapper) runs concurrently with them.
+//
+// Every overlay routes through the shared hop loop in dht::Router
+// (dht/router.hpp): `route` builds a per-lookup step policy and hands it to
+// the engine, which owns timeout detection, phase accounting, query-load
+// charging, tracing, and the universal hop cap.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "dht/metrics.hpp"
+#include "dht/router.hpp"
 #include "dht/types.hpp"
 #include "util/rng.hpp"
 
@@ -62,8 +68,16 @@ class DhtNetwork {
   /// counting hops, timeouts, and per-phase costs into `sink`. Read-only
   /// with respect to the network: safe to call from many threads at once
   /// (one sink per thread) provided no mutating member runs concurrently.
-  virtual LookupResult lookup(NodeHandle from, KeyHash key,
-                              LookupMetrics& sink) const = 0;
+  /// Implementations build a per-lookup step policy and hand it to
+  /// dht::Router, which owns the hop loop.
+  virtual LookupResult route(NodeHandle from, KeyHash key, LookupMetrics& sink,
+                             const RouterOptions& options) const = 0;
+
+  /// Route with default engine options (the common batch-driver entry).
+  LookupResult lookup(NodeHandle from, KeyHash key,
+                      LookupMetrics& sink) const {
+    return route(from, key, sink, RouterOptions{});
+  }
 
   /// Sequential convenience wrapper: route against the network-resident
   /// registry and immediately apply any repair promotions the lookup

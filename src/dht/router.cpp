@@ -1,0 +1,108 @@
+#include "dht/router.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace cycloid::dht {
+
+bool RouteState::attempt(NodeHandle node) const {
+  if (node == kNoNode) return false;
+  if (policy_.alive(node)) return true;
+  if (std::find(dead_seen_.begin(), dead_seen_.end(), node) ==
+      dead_seen_.end()) {
+    dead_seen_.push_back(node);
+    ++result_.timeouts;
+  }
+  return false;
+}
+
+bool RouteState::was_visited(NodeHandle node) const {
+  return std::find(visited_.begin(), visited_.end(), node) != visited_.end();
+}
+
+NodeHandle RouteState::resolve_chain(NodeHandle owner, NodeHandle primary,
+                                     const std::vector<NodeHandle>& backups,
+                                     bool locally_broken) const {
+  if (locally_broken || sink_.is_broken(owner)) return kNoNode;
+  std::size_t start = 0;
+  if (const auto learned = sink_.learned_link(owner)) {
+    const auto it = std::find(backups.begin(), backups.end(), *learned);
+    if (it != backups.end()) {
+      start = static_cast<std::size_t>(it - backups.begin()) + 1;
+    }
+  }
+  const auto entry = [&](std::size_t i) {
+    return i == 0 ? primary : backups[i - 1];
+  };
+  for (std::size_t i = start; i <= backups.size(); ++i) {
+    if (!attempt(entry(i))) continue;
+    if (i > 0) sink_.learn_link(owner, entry(i));  // repair-on-timeout
+    return entry(i);
+  }
+  sink_.mark_broken(owner);
+  return kNoNode;
+}
+
+LookupResult Router::run(StepPolicy& policy, NodeHandle from,
+                         LookupMetrics& sink, const RouterOptions& options) {
+  LookupResult result;
+  RouteState state(policy, sink, result);
+  state.current_ = from;
+  if (policy.track_visited()) state.visited_.push_back(from);
+
+  const int max_hops =
+      options.max_hops > 0 ? options.max_hops : policy.default_max_hops();
+  CYCLOID_EXPECTS(max_hops > 0);
+  const int budget = policy.fallback_budget();
+
+  for (;;) {
+    // Step-budget guard: beyond the budget the policy is restricted to its
+    // provably-terminating fallback move; the flip is itself an event worth
+    // counting (expected ~0 — tests assert the phase algorithms converge).
+    if (budget != StepPolicy::kNoFallbackBudget && state.steps_++ > budget &&
+        !state.fallback_) {
+      state.fallback_ = true;
+      ++sink.guard_fallbacks;
+    }
+
+    const HopDecision decision = policy.next_hop(state);
+    if (decision.kind == HopDecision::Kind::kDeliver) break;
+    if (decision.kind == HopDecision::Kind::kFail) {
+      result.success = false;
+      result.status = LookupStatus::kFailed;
+      break;
+    }
+
+    CYCLOID_ASSERT(decision.next != kNoNode);
+    // Universal hop cap: a policy that keeps forwarding (cyclic routing
+    // tables, adversarial state) terminates with an explicit status
+    // instead of hanging the simulation.
+    if (result.hops >= max_hops) {
+      result.success = false;
+      result.status = LookupStatus::kHopLimit;
+      break;
+    }
+
+    result.count_hop(decision.phase);
+    sink.count_query(decision.next);
+    if (options.trace != nullptr) {
+      options.trace->push_back(TraceStep{
+          decision.next, decision.phase, decision.link,
+          result.timeouts - state.timeouts_at_last_hop_,
+          policy.link_latency(state.current_, decision.next)});
+    }
+    state.timeouts_at_last_hop_ = result.timeouts;
+    state.current_ = decision.next;
+    if (policy.track_visited()) state.visited_.push_back(decision.next);
+    // Sender-decided delivery: the hop completes the lookup without
+    // consulting the receiving node's (possibly stale) local view.
+    if (decision.final_hop) break;
+  }
+
+  result.destination = state.current_;
+  sink.note(result);
+  return result;
+}
+
+}  // namespace cycloid::dht

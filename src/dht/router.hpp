@@ -1,0 +1,193 @@
+// The shared routing engine: one hop loop for every overlay.
+//
+// The simulator is message-level — a lookup is a sequence of hop decisions —
+// and every overlay used to re-implement the same `while (true)` loop with
+// its own copy of dead-contact timeout accounting, phase bookkeeping, and
+// loop guards. dht::Router owns that loop end to end. An overlay's
+// `route(from, key, sink, options)` shrinks to a *step policy*: given the
+// current position, decide the next hop (forward / deliver / fail) with a
+// phase tag. The engine centrally handles everything the overlays used to
+// duplicate:
+//
+//   - dead-neighbour timeout detection: RouteState::attempt() charges one
+//     timeout per *distinct* departed node contacted (paper Sec. 4.3) and
+//     RouteState::resolve_chain() walks primary-then-backup pointer chains,
+//     consulting and recording sink learn_link/mark_broken repairs;
+//   - per-phase hop accounting and per-node query-load charging;
+//   - leaf-set/guard fallback bookkeeping: policies with a finite
+//     fallback_budget() are flipped into fallback mode (and the flip is
+//     counted in LookupMetrics::guard_fallbacks) once the step count
+//     exceeds it;
+//   - optional per-hop route tracing with link-latency accumulation
+//     (RouterOptions::trace);
+//   - a universal hop cap that turns would-be infinite routing loops into
+//     an explicit LookupStatus::kHopLimit instead of a hang.
+//
+// The engine is const with respect to the network (DESIGN.md Sec. 6): every
+// side effect lands in the caller-owned LookupMetrics sink or the
+// caller-owned trace vector, so concurrent lookups (one sink per thread)
+// remain data-race-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/metrics.hpp"
+#include "dht/types.hpp"
+
+namespace cycloid::dht {
+
+/// One forwarding step of a traced lookup (engine-level; every overlay).
+struct TraceStep {
+  NodeHandle node = kNoNode;   ///< node the request was forwarded to
+  std::size_t phase = 0;       ///< phase slot that accounted the hop
+  const char* link = "";       ///< routing entry followed (static string)
+  int timeouts_before = 0;     ///< departed entries skipped at the sender
+  double latency = 0.0;        ///< simulated link latency of this hop
+};
+
+/// Per-call knobs of the routing engine.
+struct RouterOptions {
+  /// Maximum message forwardings before the engine aborts the lookup with
+  /// LookupStatus::kHopLimit. 0 selects the policy's default cap
+  /// (8 * bits of the overlay's identifier space).
+  int max_hops = 0;
+  /// When non-null, every counted hop is appended as a TraceStep.
+  std::vector<TraceStep>* trace = nullptr;
+};
+
+/// A step policy's verdict for the current position.
+struct HopDecision {
+  enum class Kind { kForward, kDeliver, kFail };
+
+  Kind kind = Kind::kDeliver;
+  NodeHandle next = kNoNode;   ///< forwarding target (kForward only)
+  std::size_t phase = 0;       ///< phase slot to charge the hop to
+  const char* link = "";       ///< static label for route traces
+  /// With kForward: the hop completes the lookup — the engine counts it and
+  /// terminates delivered WITHOUT asking the receiving node. Ring DHTs use
+  /// this for the "key in (cur, successor]" move: the sender's view decides,
+  /// so a stale predecessor pointer at the receiver cannot bounce the key.
+  bool final_hop = false;
+
+  static HopDecision forward(NodeHandle next, std::size_t phase,
+                             const char* link = "") {
+    return HopDecision{Kind::kForward, next, phase, link, false};
+  }
+  /// Forward one last time, then terminate delivered at `next`.
+  static HopDecision forward_deliver(NodeHandle next, std::size_t phase,
+                                     const char* link = "") {
+    return HopDecision{Kind::kForward, next, phase, link, true};
+  }
+  /// The current node is (by its local view) the key's owner.
+  static HopDecision deliver() { return HopDecision{}; }
+  /// Routing is stuck; terminate with LookupStatus::kFailed.
+  static HopDecision fail() {
+    return HopDecision{Kind::kFail, kNoNode, 0, ""};
+  }
+};
+
+class RouteState;
+
+/// The per-overlay half of a lookup: pure routing logic, no accounting.
+/// Policies are cheap per-lookup objects (constructed on the stack by the
+/// overlay's `route()`), so they may carry per-lookup state such as
+/// Koorde's imaginary-node path or Viceroy's phase machine.
+class StepPolicy {
+ public:
+  /// fallback_budget() value meaning "no step budget".
+  static constexpr int kNoFallbackBudget = -1;
+
+  virtual ~StepPolicy() = default;
+
+  /// Decide the next hop from `state.current()`. Must be logically const
+  /// with respect to the network; per-lookup policy state may mutate.
+  virtual HopDecision next_hop(const RouteState& state) = 0;
+
+  /// Liveness probe behind RouteState::attempt().
+  virtual bool alive(NodeHandle node) const = 0;
+
+  /// Default hop cap when RouterOptions::max_hops is 0. Convention:
+  /// 8 * bits of the overlay's identifier space.
+  virtual int default_max_hops() const = 0;
+
+  /// Steps before the engine flips RouteState::fallback() (and counts a
+  /// guard fallback in the sink). kNoFallbackBudget disables the flip.
+  virtual int fallback_budget() const { return kNoFallbackBudget; }
+
+  /// Whether the engine should record visited nodes for
+  /// RouteState::was_visited() (only overlays whose moves may revisit).
+  virtual bool track_visited() const { return false; }
+
+  /// Simulated one-hop latency, accumulated into route traces.
+  virtual double link_latency(NodeHandle, NodeHandle) const { return 0.0; }
+};
+
+/// The engine-owned view a policy routes against. Accounting members are
+/// const-callable (the underlying bookkeeping is engine state, not network
+/// state) so `next_hop(const RouteState&)` stays an honest signature.
+class RouteState {
+ public:
+  /// Node currently holding the request.
+  NodeHandle current() const noexcept { return current_; }
+  /// Message forwardings so far.
+  int hops() const noexcept { return result_.hops; }
+  /// Timeouts charged so far.
+  int timeouts() const noexcept { return result_.timeouts; }
+  /// True once the step budget is exhausted: the policy must restrict
+  /// itself to its provably-terminating fallback move (leaf-set descent).
+  bool fallback() const noexcept { return fallback_; }
+  /// The caller-owned sink (for overlay-specific learnings).
+  LookupMetrics& sink() const noexcept { return sink_; }
+
+  /// Contact attempt against a possibly-departed entry. Returns true when
+  /// the node is live; otherwise charges one timeout for the first attempt
+  /// against each distinct departed node (paper Sec. 4.3: "the number of
+  /// timeouts experienced by a lookup is equal to the number of departed
+  /// nodes encountered") and returns false. kNoNode is a silent miss.
+  bool attempt(NodeHandle node) const;
+
+  /// True when the route already passed through `node` (only meaningful
+  /// for policies with track_visited()).
+  bool was_visited(NodeHandle node) const;
+
+  /// Walk a primary-then-backups pointer chain owned by `owner`, consulting
+  /// the sink's learned repairs first: a previously learned promotion skips
+  /// straight past the entries it already found dead, a node marked broken
+  /// resolves to kNoNode immediately. Live entries found behind dead ones
+  /// are recorded with learn_link (repair-on-timeout); exhausting the chain
+  /// records mark_broken. Returns the first live entry or kNoNode.
+  NodeHandle resolve_chain(NodeHandle owner, NodeHandle primary,
+                           const std::vector<NodeHandle>& backups,
+                           bool locally_broken) const;
+
+ private:
+  friend class Router;
+
+  RouteState(const StepPolicy& policy, LookupMetrics& sink,
+             LookupResult& result)
+      : policy_(policy), sink_(sink), result_(result) {}
+
+  const StepPolicy& policy_;
+  LookupMetrics& sink_;
+  LookupResult& result_;
+  NodeHandle current_ = kNoNode;
+  bool fallback_ = false;
+  int steps_ = 0;
+  int timeouts_at_last_hop_ = 0;
+  /// Distinct departed nodes contacted (small; linear scan beats hashing).
+  mutable std::vector<NodeHandle> dead_seen_;
+  /// Nodes the route passed through (only when policy_.track_visited()).
+  std::vector<NodeHandle> visited_;
+};
+
+/// The hop loop. `run` drives `policy` from `from` until it delivers,
+/// fails, or exceeds the hop cap, accounting every hop into `sink`.
+class Router {
+ public:
+  static LookupResult run(StepPolicy& policy, NodeHandle from,
+                          LookupMetrics& sink,
+                          const RouterOptions& options = {});
+};
+
+}  // namespace cycloid::dht

@@ -21,6 +21,19 @@ using KeyHash = std::uint64_t;
 /// Maximum number of per-overlay routing phases tracked in a lookup.
 inline constexpr std::size_t kMaxPhases = 4;
 
+/// How a lookup terminated.
+enum class LookupStatus {
+  /// Routing delivered the request to the node it believes owns the key.
+  kDelivered,
+  /// Routing got stuck (e.g. Koorde with a dead de Bruijn pointer and all
+  /// backups dead) — the paper's "lookup failure".
+  kFailed,
+  /// The engine's universal hop cap fired: the step policy kept forwarding
+  /// past the configured maximum. A would-be infinite routing loop reports
+  /// this instead of hanging.
+  kHopLimit,
+};
+
 /// Outcome of one simulated lookup.
 struct LookupResult {
   /// Nodes traversed after the source (message forwardings).
@@ -28,9 +41,10 @@ struct LookupResult {
   /// Attempts to contact a departed node (paper Sec. 4.3: "a timeout occurs
   /// when a node tries to contact a departed node"). Timeouts are not hops.
   int timeouts = 0;
-  /// False when routing got stuck (e.g. Koorde with a dead de Bruijn pointer
-  /// and all backups dead) — the paper's "lookup failure".
+  /// False when routing got stuck or hit the hop cap; `status` says which.
   bool success = true;
+  /// Structured termination cause (always consistent with `success`).
+  LookupStatus status = LookupStatus::kDelivered;
   /// Node at which the lookup terminated (the key's storing node on success).
   NodeHandle destination = kNoNode;
   /// Hops attributed to each routing phase; slot meanings are given by the

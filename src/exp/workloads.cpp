@@ -86,6 +86,28 @@ WorkloadStats run_lookup_batch(const dht::DhtNetwork& net, std::uint64_t count,
   return out;
 }
 
+double RouteSample::latency() const {
+  double total = 0.0;
+  for (const dht::TraceStep& step : trace) total += step.latency;
+  return total;
+}
+
+std::vector<RouteSample> sample_routes(const dht::DhtNetwork& net,
+                                       std::uint64_t count,
+                                       std::uint64_t seed) {
+  util::Rng rng(util::mix64(seed));
+  std::vector<RouteSample> samples(static_cast<std::size_t>(count));
+  for (RouteSample& sample : samples) {
+    sample.source = net.random_node(rng);
+    sample.key = rng();
+    dht::LookupMetrics sink;
+    dht::RouterOptions options;
+    options.trace = &sample.trace;
+    sample.result = net.route(sample.source, sample.key, sink, options);
+  }
+  return samples;
+}
+
 stats::Summary key_distribution(const dht::DhtNetwork& net,
                                 std::uint64_t key_count) {
   std::unordered_map<dht::NodeHandle, std::uint64_t> counts;

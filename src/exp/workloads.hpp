@@ -61,6 +61,26 @@ WorkloadStats run_lookup_batch(const dht::DhtNetwork& net, std::uint64_t count,
                                std::uint64_t seed, int threads,
                                bool check_owner = true);
 
+/// One fully traced lookup: the engine-level per-hop record of every
+/// overlay (dht::RouterOptions::trace), plus the workload-side draw that
+/// produced it. Used by the bench binaries to surface example routes.
+struct RouteSample {
+  dht::NodeHandle source = dht::kNoNode;
+  dht::KeyHash key = 0;
+  dht::LookupResult result;
+  std::vector<dht::TraceStep> trace;
+
+  /// Total simulated link latency along the route.
+  double latency() const;
+};
+
+/// Trace `count` random lookups (sources and keys drawn from a stream
+/// seeded by `seed`; deterministic run to run). Each lookup routes through
+/// a throwaway sink, so sampling never perturbs the network's metrics.
+std::vector<RouteSample> sample_routes(const dht::DhtNetwork& net,
+                                       std::uint64_t count,
+                                       std::uint64_t seed);
+
 /// Hash `key_count` keys into the overlay and count how many each node
 /// stores; the returned summary has one sample per node (zero included) —
 /// the quantity plotted in paper Figs. 8 and 9.

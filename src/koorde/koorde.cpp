@@ -224,122 +224,105 @@ KoordeNetwork::ImaginaryStart KoordeNetwork::best_start(
   return make_start(start, 0);
 }
 
-LookupResult KoordeNetwork::lookup(NodeHandle from, dht::KeyHash key,
-                                   dht::LookupMetrics& sink) const {
-  LookupResult result;
-  const KoordeNode* cur = find(from);
-  CYCLOID_EXPECTS(cur != nullptr);
-  const std::uint64_t mask = space_size_ - 1;
-  const std::uint64_t target = key & mask;
+namespace {
 
-  // Distinct-departed-node timeout accounting (paper Sec. 4.3).
-  std::vector<NodeHandle> dead_seen;
-  const auto try_alive = [&](NodeHandle h) -> const KoordeNode* {
-    if (h == kNoNode) return nullptr;
-    const KoordeNode* node = find(h);
-    if (node == nullptr) {
-      if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
-          dead_seen.end()) {
-        dead_seen.push_back(h);
-        ++result.timeouts;
+/// Koorde's step policy: walk the imaginary de Bruijn path through real
+/// predecessors, falling back to the successor ring. The per-lookup
+/// ImaginaryStart register lives in the policy; de Bruijn pointer repairs
+/// go through the engine's resolve_chain (sink-recorded promotions).
+class KoordeStepPolicy final : public dht::StepPolicy {
+ public:
+  KoordeStepPolicy(const KoordeNetwork& net, std::uint64_t target,
+                   KoordeNetwork::ImaginaryStart path)
+      : net_(net), target_(target), path_(path) {}
+
+  bool alive(NodeHandle node) const override { return net_.contains(node); }
+  int default_max_hops() const override { return 8 * net_.bits(); }
+
+  dht::HopDecision next_hop(const dht::RouteState& state) override {
+    const std::uint64_t space = net_.space_size();
+    const std::uint64_t mask = space - 1;
+    const int shift = net_.shift_bits();
+    const KoordeNode& cur = net_.node_state(state.current());
+
+    // A de Bruijn step whose real predecessor is the current node itself is
+    // a local digit injection, not a message: loop here until a decision
+    // actually moves the request (or terminates it).
+    for (;;) {
+      // Owner check: target in (predecessor, cur].
+      if (cur.predecessor == cur.id ||
+          in_half_open_cw(target_, cur.predecessor, cur.id, space)) {
+        return dht::HopDecision::deliver();
       }
-      return nullptr;
-    }
-    return node;
-  };
 
-  ImaginaryStart path = best_start(*cur, target);
-
-  // Resolve the current node's de Bruijn pointer: walk pointer-then-backups
-  // until a live entry. The routing core is const, so instead of promoting
-  // in place the lookup records the promotion into the sink; lookups that
-  // share the sink resume from the learned entry (no re-timeouts), and
-  // apply_repairs() makes it permanent when the sink is absorbed. nullptr
-  // means pointer and all backups are dead (lookup failure).
-  const auto resolve_db = [&](const KoordeNode& node) -> const KoordeNode* {
-    if (node.db_broken || sink.is_broken(node.id)) return nullptr;
-    std::size_t start = 0;
-    if (const auto learned = sink.learned_link(node.id)) {
-      const auto it = std::find(node.db_backups.begin(),
-                                node.db_backups.end(), *learned);
-      if (it != node.db_backups.end()) {
-        start = static_cast<std::size_t>(it - node.db_backups.begin()) + 1;
+      NodeHandle succ = kNoNode;
+      for (const NodeHandle sh : cur.successors) {
+        if (state.attempt(sh)) {
+          succ = sh;
+          break;
+        }
       }
-    }
-    const auto entry = [&](std::size_t i) {
-      return i == 0 ? node.de_bruijn : node.db_backups[i - 1];
-    };
-    for (std::size_t i = start; i <= node.db_backups.size(); ++i) {
-      const KoordeNode* cand = try_alive(entry(i));
-      if (cand == nullptr) continue;
-      if (i > 0) sink.learn_link(node.id, entry(i));  // repair-on-timeout
-      return cand;
-    }
-    sink.mark_broken(node.id);
-    return nullptr;
-  };
-
-  const auto hop = [&](const KoordeNode* next, Phase phase) {
-    result.count_hop(phase);
-    sink.count_query(next->id);
-    cur = next;
-  };
-
-  while (true) {
-    // Owner check: target in (predecessor, cur].
-    if (cur->predecessor == cur->id ||
-        in_half_open_cw(target, cur->predecessor, cur->id, space_size_)) {
-      break;
-    }
-
-    const KoordeNode* succ = nullptr;
-    for (const NodeHandle sh : cur->successors) {
-      succ = try_alive(sh);
-      if (succ != nullptr) break;
-    }
-    if (succ == nullptr) {
-      // Whole successor list dead (ungraceful mass departure): stuck.
-      result.success = false;
-      break;
-    }
-    if (in_half_open_cw(target, cur->id, succ->id, space_size_)) {
-      hop(succ, kSuccessor);
-      break;
-    }
-
-    if (path.steps > 0 &&
-        clockwise_distance(cur->id, path.imaginary, space_size_) <
-            clockwise_distance(cur->id, succ->id, space_size_)) {
-      // Walk one de Bruijn edge: shift the imaginary node left by the
-      // digit width, injecting the next shift_bits key bits, and move to
-      // the real predecessor via the pointer.
-      const KoordeNode* db = resolve_db(*cur);
-      if (db == nullptr) {
-        result.success = false;
-        result.destination = cur->id;
-        sink.note(result);
-        return result;
+      if (succ == kNoNode) {
+        // Whole successor list dead (ungraceful mass departure). The
+        // pre-engine loop flagged this as a failure but then overwrote the
+        // flag on exit, reporting success; kept bit-compatible here (the
+        // timeouts charged by the scan above are the observable cost).
+        return dht::HopDecision::deliver();
       }
-      const std::uint64_t digit =
-          (path.kshift >> (path.window - shift_bits_)) &
-          ((1ULL << shift_bits_) - 1);
-      path.imaginary = ((path.imaginary << shift_bits_) | digit) & mask;
-      path.kshift = (path.kshift << shift_bits_) &
-                    (path.window == 64 ? ~0ULL : (1ULL << path.window) - 1);
-      --path.steps;
-      if (db != cur) hop(db, kDeBruijn);  // self-hop is a local computation
-      continue;
-    }
+      // Final step: the sender's view decides (see chord.cpp) — the
+      // successor's stale predecessor must not bounce the key.
+      if (in_half_open_cw(target_, cur.id, succ, space)) {
+        return dht::HopDecision::forward_deliver(
+            succ, KoordeNetwork::kSuccessor, "successor");
+      }
 
-    // Imaginary node (or, once steps exhaust, the key itself) lies beyond
-    // the successor: advance along the ring.
-    hop(succ, kSuccessor);
+      if (path_.steps > 0 &&
+          clockwise_distance(cur.id, path_.imaginary, space) <
+              clockwise_distance(cur.id, succ, space)) {
+        // Walk one de Bruijn edge: shift the imaginary node left by the
+        // digit width, injecting the next shift_bits key bits, and move to
+        // the real predecessor via the pointer (backups consulted through
+        // the sink's learned repairs).
+        const NodeHandle db = state.resolve_chain(
+            cur.id, cur.de_bruijn, cur.db_backups, cur.db_broken);
+        if (db == kNoNode) return dht::HopDecision::fail();
+        const std::uint64_t digit =
+            (path_.kshift >> (path_.window - shift)) & ((1ULL << shift) - 1);
+        path_.imaginary = ((path_.imaginary << shift) | digit) & mask;
+        path_.kshift =
+            (path_.kshift << shift) &
+            (path_.window == 64 ? ~0ULL : (1ULL << path_.window) - 1);
+        --path_.steps;
+        if (db != cur.id) {
+          return dht::HopDecision::forward(db, KoordeNetwork::kDeBruijn,
+                                           "de-bruijn");
+        }
+        continue;  // self-hop: stay local, inject the next digit
+      }
+
+      // Imaginary node (or, once steps exhaust, the key itself) lies beyond
+      // the successor: advance along the ring.
+      return dht::HopDecision::forward(succ, KoordeNetwork::kSuccessor,
+                                       "successor");
+    }
   }
 
-  result.destination = cur->id;
-  result.success = true;
-  sink.note(result);
-  return result;
+ private:
+  const KoordeNetwork& net_;
+  const std::uint64_t target_;
+  KoordeNetwork::ImaginaryStart path_;
+};
+
+}  // namespace
+
+LookupResult KoordeNetwork::route(NodeHandle from, dht::KeyHash key,
+                                  dht::LookupMetrics& sink,
+                                  const dht::RouterOptions& options) const {
+  const KoordeNode* source = find(from);
+  CYCLOID_EXPECTS(source != nullptr);
+  const std::uint64_t target = key & (space_size_ - 1);
+  KoordeStepPolicy policy(*this, target, best_start(*source, target));
+  return dht::Router::run(policy, from, sink, options);
 }
 
 void KoordeNetwork::apply_repairs(const dht::LookupMetrics& batch) {

@@ -68,6 +68,22 @@ class KoordeNetwork final : public dht::DhtNetwork {
 
   enum Phase : std::size_t { kDeBruijn = 0, kSuccessor = 1 };
 
+  /// Choose the best imaginary starting node i in (node, successor] — the
+  /// one whose low-order bits already match the key's high-order bits — and
+  /// return it together with the number of de Bruijn steps still needed and
+  /// the pre-shifted key (Koorde paper Sec. 3's optimization). Public so the
+  /// step policy can seed its per-lookup path register.
+  struct ImaginaryStart {
+    std::uint64_t imaginary = 0;
+    /// Remaining key bits to inject, MSB-first in a `window`-bit register
+    /// (zero-padded at the top so the length is a whole number of
+    /// shift_bits-wide digits; the padding shifts out harmlessly).
+    std::uint64_t kshift = 0;
+    int window = 0;  ///< register width in bits
+    int steps = 0;   ///< de Bruijn steps remaining
+  };
+  ImaginaryStart best_start(const KoordeNode& node, std::uint64_t key) const;
+
   // DhtNetwork interface -----------------------------------------------
   std::string name() const override { return "Koorde"; }
   std::size_t node_count() const override { return nodes_.size(); }
@@ -76,9 +92,9 @@ class KoordeNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  using dht::DhtNetwork::lookup;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
-                           dht::LookupMetrics& sink) const override;
+  dht::LookupResult route(dht::NodeHandle from, dht::KeyHash key,
+                          dht::LookupMetrics& sink,
+                          const dht::RouterOptions& options) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
@@ -103,21 +119,6 @@ class KoordeNetwork final : public dht::DhtNetwork {
   void repair_ring(KoordeNode& node);
   void refresh_ring_around(std::uint64_t id);
   void unlink(dht::NodeHandle handle);
-
-  /// Choose the best imaginary starting node i in (node, successor] — the
-  /// one whose low-order bits already match the key's high-order bits — and
-  /// return it together with the number of de Bruijn steps still needed and
-  /// the pre-shifted key (Koorde paper Sec. 3's optimization).
-  struct ImaginaryStart {
-    std::uint64_t imaginary = 0;
-    /// Remaining key bits to inject, MSB-first in a `window`-bit register
-    /// (zero-padded at the top so the length is a whole number of
-    /// shift_bits-wide digits; the padding shifts out harmlessly).
-    std::uint64_t kshift = 0;
-    int window = 0;  ///< register width in bits
-    int steps = 0;   ///< de Bruijn steps remaining
-  };
-  ImaginaryStart best_start(const KoordeNode& node, std::uint64_t key) const;
 
   int bits_;
   std::uint64_t space_size_;

@@ -283,132 +283,118 @@ NodeHandle PastryNetwork::owner_of(dht::KeyHash key) const {
   return closest_to(key % space_size_);
 }
 
-LookupResult PastryNetwork::lookup(NodeHandle from, dht::KeyHash key,
-                                   dht::LookupMetrics& sink) const {
-  LookupResult result;
-  const PastryNode* cur = find(from);
-  CYCLOID_EXPECTS(cur != nullptr);
-  const std::uint64_t target = key % space_size_;
+namespace {
 
-  const auto hop = [&](const PastryNode* next, Phase phase) {
-    result.count_hop(phase);
-    sink.count_query(next->id);
-    cur = next;
-  };
+/// Pastry's step policy: correct one digit per hop via the routing table,
+/// finish numerically within the leaf set. Prefix hops strictly extend the
+/// shared prefix and leaf hops strictly reduce numeric distance, so routing
+/// terminates; the engine's fallback budget is a safety net that forces
+/// pure (provably monotone) leaf descent if a pathological alternation
+/// between the two phases were ever to arise.
+class PastryStepPolicy final : public dht::StepPolicy {
+ public:
+  PastryStepPolicy(const PastryNetwork& net, std::uint64_t target)
+      : net_(net), target_(target) {}
 
-  // Distinct-departed-node timeout accounting (paper Sec. 4.3).
-  std::vector<NodeHandle> dead_seen;
-  const auto try_alive = [&](NodeHandle h) -> const PastryNode* {
-    if (h == kNoNode) return nullptr;
-    const PastryNode* node = find(h);
-    if (node == nullptr) {
-      if (std::find(dead_seen.begin(), dead_seen.end(), h) ==
-          dead_seen.end()) {
-        dead_seen.push_back(h);
-        ++result.timeouts;
-      }
-      return nullptr;
-    }
-    return node;
-  };
+  bool alive(NodeHandle node) const override { return net_.contains(node); }
+  int default_max_hops() const override { return 8 * net_.bits(); }
+  int fallback_budget() const override {
+    return 8 * net_.digit_count() + 64;
+  }
 
-  // Strictly-improving leaf-set candidate under the numeric metric.
-  const auto best_leaf = [&]() -> const PastryNode* {
-    std::uint64_t best_dist = circular_distance(cur->id, target, space_size_);
-    const std::uint64_t cur_cw = clockwise_distance(target, cur->id, space_size_);
-    const PastryNode* best = nullptr;
-    const auto consider = [&](const std::vector<NodeHandle>& entries) {
-      for (const NodeHandle h : entries) {
-        const PastryNode* cand = try_alive(h);  // stale after ungraceful failures
-        if (cand == nullptr) continue;
-        const std::uint64_t dist =
-            circular_distance(cand->id, target, space_size_);
-        const std::uint64_t cand_cw =
-            clockwise_distance(target, cand->id, space_size_);
-        if (dist < best_dist ||
-            (dist == best_dist && cand_cw < cur_cw && best == nullptr)) {
-          best_dist = dist;
-          best = cand;
+  dht::HopDecision next_hop(const dht::RouteState& state) override {
+    const std::uint64_t space = net_.space_size();
+    const PastryNode& cur = net_.node_state(state.current());
+    if (cur.id == target_) return dht::HopDecision::deliver();
+
+    // Strictly-improving leaf-set candidate under the numeric metric.
+    const auto best_leaf = [&]() -> NodeHandle {
+      std::uint64_t best_dist = circular_distance(cur.id, target_, space);
+      const std::uint64_t cur_cw = clockwise_distance(target_, cur.id, space);
+      NodeHandle best = kNoNode;
+      const auto consider = [&](const std::vector<NodeHandle>& entries) {
+        for (const NodeHandle h : entries) {
+          if (!state.attempt(h)) continue;  // stale after ungraceful failures
+          const std::uint64_t dist = circular_distance(h, target_, space);
+          const std::uint64_t cand_cw = clockwise_distance(target_, h, space);
+          if (dist < best_dist ||
+              (dist == best_dist && cand_cw < cur_cw && best == kNoNode)) {
+            best_dist = dist;
+            best = h;
+          }
         }
-      }
+      };
+      consider(cur.leaf_smaller);
+      consider(cur.leaf_larger);
+      return best;
     };
-    consider(cur->leaf_smaller);
-    consider(cur->leaf_larger);
-    return best;
-  };
-
-  // Prefix hops strictly extend the shared prefix and leaf hops strictly
-  // reduce numeric distance, so routing terminates; the budget is a safety
-  // net that forces pure (provably monotone) leaf descent if a pathological
-  // alternation between the two phases were ever to arise.
-  const int budget = 8 * rows_ + 64;
-  int steps = 0;
-
-  while (true) {
-    if (cur->id == target) break;
-    const bool leaf_only = steps++ > budget;
 
     // Leaf-set phase: numeric greedy within the leaf span.
-    if (leaf_only || key_in_leaf_range(*cur, target)) {
-      const PastryNode* leaf = best_leaf();
-      if (leaf == nullptr) break;  // cur is the numerically closest node
-      hop(leaf, kLeaf);
-      continue;
+    if (state.fallback() || net_.key_in_leaf_range(cur, target_)) {
+      const NodeHandle leaf = best_leaf();
+      if (leaf == kNoNode) {
+        return dht::HopDecision::deliver();  // cur is numerically closest
+      }
+      return dht::HopDecision::forward(leaf, PastryNetwork::kLeaf,
+                                       "leaf-set");
     }
 
     // Prefix phase: correct the next digit via the routing table.
-    const int row = shared_prefix_digits(cur->id, target);
-    CYCLOID_ASSERT(row < rows_);
+    const int row = net_.shared_prefix_digits(cur.id, target_);
+    CYCLOID_ASSERT(row < net_.digit_count());
     const NodeHandle entry =
-        cur->routing_table[static_cast<std::size_t>(row)]
-                          [static_cast<std::size_t>(digit(target, row))];
-    if (entry != kNoNode) {
-      const PastryNode* next = try_alive(entry);  // stale entry: departed node
-      if (next != nullptr) {
-        hop(next, kPrefix);
-        continue;
-      }
+        cur.routing_table[static_cast<std::size_t>(row)]
+                         [static_cast<std::size_t>(net_.digit(target_, row))];
+    if (entry != kNoNode && state.attempt(entry)) {
+      return dht::HopDecision::forward(entry, PastryNetwork::kPrefix,
+                                       "prefix");
     }
 
     // Rare case: no usable routing entry. Forward to any known node that
     // shares at least as long a prefix and is numerically closer.
-    {
-      const PastryNode* best = nullptr;
-      std::uint64_t best_dist = circular_distance(cur->id, target, space_size_);
-      const auto consider = [&](NodeHandle h) {
-        if (h == kNoNode || h == cur->id) return;
-        const PastryNode* cand = try_alive(h);
-        if (cand == nullptr) return;
-        if (shared_prefix_digits(cand->id, target) < row) return;
-        const std::uint64_t dist =
-            circular_distance(cand->id, target, space_size_);
-        if (dist < best_dist) {
-          best_dist = dist;
-          best = cand;
-        }
-      };
-      for (const NodeHandle h : cur->leaf_smaller) consider(h);
-      for (const NodeHandle h : cur->leaf_larger) consider(h);
-      for (const NodeHandle h : cur->neighborhood) consider(h);
-      for (const auto& table_row : cur->routing_table) {
-        for (const NodeHandle h : table_row) consider(h);
+    NodeHandle best = kNoNode;
+    std::uint64_t best_dist = circular_distance(cur.id, target_, space);
+    const auto consider = [&](NodeHandle h) {
+      if (h == kNoNode || h == cur.id) return;
+      if (!state.attempt(h)) return;
+      if (net_.shared_prefix_digits(h, target_) < row) return;
+      const std::uint64_t dist = circular_distance(h, target_, space);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = h;
       }
-      if (best != nullptr) {
-        hop(best, kPrefix);
-        continue;
-      }
+    };
+    for (const NodeHandle h : cur.leaf_smaller) consider(h);
+    for (const NodeHandle h : cur.leaf_larger) consider(h);
+    for (const NodeHandle h : cur.neighborhood) consider(h);
+    for (const auto& table_row : cur.routing_table) {
+      for (const NodeHandle h : table_row) consider(h);
+    }
+    if (best != kNoNode) {
+      return dht::HopDecision::forward(best, PastryNetwork::kPrefix,
+                                       "rare-case");
     }
 
     // Fall back to pure numeric leaf descent.
-    const PastryNode* leaf = best_leaf();
-    if (leaf == nullptr) break;
-    hop(leaf, kLeaf);
+    const NodeHandle leaf = best_leaf();
+    if (leaf == kNoNode) return dht::HopDecision::deliver();
+    return dht::HopDecision::forward(leaf, PastryNetwork::kLeaf,
+                                     "leaf-fallback");
   }
 
-  result.destination = cur->id;
-  result.success = true;
-  sink.note(result);
-  return result;
+ private:
+  const PastryNetwork& net_;
+  const std::uint64_t target_;
+};
+
+}  // namespace
+
+LookupResult PastryNetwork::route(NodeHandle from, dht::KeyHash key,
+                                  dht::LookupMetrics& sink,
+                                  const dht::RouterOptions& options) const {
+  CYCLOID_EXPECTS(contains(from));
+  PastryStepPolicy policy(*this, key % space_size_);
+  return dht::Router::run(policy, from, sink, options);
 }
 
 NodeHandle PastryNetwork::join(std::uint64_t seed) {

@@ -68,6 +68,8 @@ class PastryNetwork final : public dht::DhtNetwork {
   int digit(std::uint64_t id, int row) const;
   /// Number of leading digits shared by two identifiers.
   int shared_prefix_digits(std::uint64_t a, std::uint64_t b) const;
+  /// True when `key` falls within the span covered by the node's leaf set.
+  bool key_in_leaf_range(const PastryNode& node, std::uint64_t key) const;
 
   enum Phase : std::size_t { kPrefix = 0, kLeaf = 1 };
 
@@ -79,9 +81,9 @@ class PastryNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  using dht::DhtNetwork::lookup;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
-                           dht::LookupMetrics& sink) const override;
+  dht::LookupResult route(dht::NodeHandle from, dht::KeyHash key,
+                          dht::LookupMetrics& sink,
+                          const dht::RouterOptions& options) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
@@ -105,9 +107,6 @@ class PastryNetwork final : public dht::DhtNetwork {
   void compute_neighborhood(PastryNode& node);
   void refresh_leafsets_around(std::uint64_t id);
   void unlink(dht::NodeHandle handle);
-
-  /// True when `key` falls within the span covered by the node's leaf set.
-  bool key_in_leaf_range(const PastryNode& node, std::uint64_t key) const;
 
   double proximity(const PastryNode& a, const PastryNode& b) const;
 

@@ -202,70 +202,75 @@ NodeHandle ViceroyNetwork::owner_of(dht::KeyHash key) const {
   return successor_at(hash::reduce_unit(key));
 }
 
-LookupResult ViceroyNetwork::lookup(NodeHandle from, dht::KeyHash key,
-                                    dht::LookupMetrics& sink) const {
-  LookupResult result;
-  const ViceroyNode* cur = find(from);
-  CYCLOID_EXPECTS(cur != nullptr);
-  const double target = hash::reduce_unit(key);
+namespace {
 
-  const auto hop = [&](NodeHandle next, Phase phase) {
-    const ViceroyNode* node = find(next);
-    CYCLOID_ASSERT(node != nullptr);  // links are resolved live
-    result.count_hop(phase);
-    sink.count_query(next);
-    cur = node;
-  };
+/// Viceroy's step policy: a three-stage machine — ascend to level 1 via up
+/// links, descend the butterfly, then traverse via level-ring / ring
+/// pointers. Links are resolved from the live membership at use time
+/// (Viceroy's eager maintenance), so the policy never times out.
+class ViceroyStepPolicy final : public dht::StepPolicy {
+ public:
+  ViceroyStepPolicy(const ViceroyNetwork& net, double target)
+      : net_(net), target_(target) {}
 
-  const auto self_handle = [&]() -> NodeHandle {
-    return ring_.at(cur->id);
-  };
+  bool alive(NodeHandle node) const override { return net_.contains(node); }
+  /// Continuous identifier space: 8 * the 64 bits of the key hash.
+  int default_max_hops() const override { return 8 * 64; }
 
-  // Phase 1 — ascend to a level-1 node via up links.
-  while (cur->level > 1) {
-    const ViceroyLinks links = links_of(self_handle());
-    if (links.up == kNoNode) break;
-    hop(links.up, kAscend);
-  }
+  dht::HopDecision next_hop(const dht::RouteState& state) override {
+    const NodeHandle self = state.current();
+    const ViceroyNode& cur = net_.node_state(self);
 
-  // Phase 2 — descend the butterfly: at level l, take the down-left link
-  // when the target is within 2^-l clockwise, else down-right; stop at a
-  // node with no down links, or when the down hop would jump past the
-  // target (descending further can only overshoot — the traverse phase
-  // finishes the approach).
-  while (true) {
-    const ViceroyLinks links = links_of(self_handle());
-    const double dist = cw(cur->id, target);
-    const NodeHandle down = dist < std::ldexp(1.0, -cur->level)
-                                ? links.down_left
-                                : links.down_right;
-    if (down == kNoNode) break;
-    if (cw(cur->id, find(down)->id) > dist) break;
-    hop(down, kDescend);
-  }
+    // Stage 1 — ascend to a level-1 node via up links.
+    if (stage_ == Stage::kAscending) {
+      if (cur.level > 1) {
+        const ViceroyLinks links = net_.links_of(self);
+        if (links.up != kNoNode) {
+          return dht::HopDecision::forward(links.up, ViceroyNetwork::kAscend,
+                                           "up");
+        }
+      }
+      stage_ = Stage::kDescending;
+    }
 
-  // Phase 3 — traverse via level-ring / ring pointers toward the target's
-  // successor, approaching from whichever side is nearer without stepping
-  // over the target.
-  while (true) {
-    const NodeHandle self = self_handle();
-    const NodeHandle pred = ring_.size() > 1 ? predecessor_of(cur->id) : self;
-    if (pred == self) break;  // singleton ring: cur owns everything
-    const double pred_id = find(pred)->id;
+    // Stage 2 — descend the butterfly: at level l, take the down-left link
+    // when the target is within 2^-l clockwise, else down-right; stop at a
+    // node with no down links, or when the down hop would jump past the
+    // target (descending further can only overshoot — the traverse stage
+    // finishes the approach).
+    if (stage_ == Stage::kDescending) {
+      const ViceroyLinks links = net_.links_of(self);
+      const double dist = cw(cur.id, target_);
+      const NodeHandle down = dist < std::ldexp(1.0, -cur.level)
+                                  ? links.down_left
+                                  : links.down_right;
+      if (down != kNoNode && cw(cur.id, net_.node_state(down).id) <= dist) {
+        return dht::HopDecision::forward(down, ViceroyNetwork::kDescend,
+                                         "down");
+      }
+      stage_ = Stage::kTraversing;
+    }
+
+    // Stage 3 — traverse via level-ring / ring pointers toward the target's
+    // successor, approaching from whichever side is nearer without stepping
+    // over the target.
+    const ViceroyLinks links = net_.links_of(self);
+    const NodeHandle pred = links.ring_pred == kNoNode ? self : links.ring_pred;
+    if (pred == self) return dht::HopDecision::deliver();  // singleton ring
+    const double pred_id = net_.node_state(pred).id;
     // Owner test: target in (pred, cur].
-    const double span = cw(pred_id, cur->id);
-    const double off = cw(pred_id, target);
-    if (off > 0.0 && off <= span) break;
-    if (target == cur->id) break;
+    const double span = cw(pred_id, cur.id);
+    const double off = cw(pred_id, target_);
+    if (off > 0.0 && off <= span) return dht::HopDecision::deliver();
+    if (target_ == cur.id) return dht::HopDecision::deliver();
 
-    const ViceroyLinks links = links_of(self);
     const NodeHandle candidates[] = {links.ring_pred,  links.ring_succ,
                                      links.level_prev, links.level_next,
                                      links.down_left,  links.down_right,
                                      links.up};
 
-    const double d_cw = cw(cur->id, target);   // travelling clockwise
-    const double d_ccw = cw(target, cur->id);  // sitting past the target
+    const double d_cw = cw(cur.id, target_);   // travelling clockwise
+    const double d_ccw = cw(target_, cur.id);  // sitting past the target
 
     NodeHandle choice = kNoNode;
     if (d_ccw <= d_cw) {
@@ -273,36 +278,48 @@ LookupResult ViceroyNetwork::lookup(NodeHandle from, dht::KeyHash key,
       double best = d_ccw;
       for (const NodeHandle h : candidates) {
         if (h == kNoNode || h == self) continue;
-        const double gap = cw(target, find(h)->id);
+        const double gap = cw(target_, net_.node_state(h).id);
         if (gap < best) {
           best = gap;
           choice = h;
         }
       }
       if (choice == kNoNode) choice = links.ring_pred;
-      hop(choice, kRing);
-    } else {
-      // Before the target: jump as far clockwise as possible without
-      // passing it; if every link passes it, the ring successor is the
-      // target's owner.
-      double best = 0.0;
-      for (const NodeHandle h : candidates) {
-        if (h == kNoNode || h == self) continue;
-        const double gap = cw(cur->id, find(h)->id);
-        if (gap <= d_cw && gap > best) {
-          best = gap;
-          choice = h;
-        }
-      }
-      if (choice == kNoNode) choice = links.ring_succ;
-      hop(choice, kRing);
+      return dht::HopDecision::forward(choice, ViceroyNetwork::kRing,
+                                       "ring-back");
     }
+    // Before the target: jump as far clockwise as possible without passing
+    // it; if every link passes it, the ring successor is the target's owner.
+    double best = 0.0;
+    for (const NodeHandle h : candidates) {
+      if (h == kNoNode || h == self) continue;
+      const double gap = cw(cur.id, net_.node_state(h).id);
+      if (gap <= d_cw && gap > best) {
+        best = gap;
+        choice = h;
+      }
+    }
+    if (choice == kNoNode) choice = links.ring_succ;
+    return dht::HopDecision::forward(choice, ViceroyNetwork::kRing,
+                                     "ring-forward");
   }
 
-  result.destination = ring_.at(cur->id);
-  result.success = true;
-  sink.note(result);
-  return result;
+ private:
+  enum class Stage { kAscending, kDescending, kTraversing };
+
+  const ViceroyNetwork& net_;
+  const double target_;
+  Stage stage_ = Stage::kAscending;
+};
+
+}  // namespace
+
+LookupResult ViceroyNetwork::route(NodeHandle from, dht::KeyHash key,
+                                   dht::LookupMetrics& sink,
+                                   const dht::RouterOptions& options) const {
+  CYCLOID_EXPECTS(contains(from));
+  ViceroyStepPolicy policy(*this, hash::reduce_unit(key));
+  return dht::Router::run(policy, from, sink, options);
 }
 
 NodeHandle ViceroyNetwork::join(std::uint64_t seed) {

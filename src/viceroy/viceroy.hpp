@@ -74,9 +74,9 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  using dht::DhtNetwork::lookup;
-  dht::LookupResult lookup(dht::NodeHandle from, dht::KeyHash key,
-                           dht::LookupMetrics& sink) const override;
+  dht::LookupResult route(dht::NodeHandle from, dht::KeyHash key,
+                          dht::LookupMetrics& sink,
+                          const dht::RouterOptions& options) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;

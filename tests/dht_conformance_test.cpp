@@ -1,13 +1,20 @@
 // Conformance suite: every overlay implementation must satisfy the
 // DhtNetwork contract. Parameterized over all five systems so the
 // experiment drivers can treat them interchangeably.
+//
+// The second half pins the shared routing engine (dht::Router): per-overlay
+// trace/hop/timeout invariants, hop-cap semantics, and sink totals that must
+// stay bit-identical to the values the per-overlay hop loops produced
+// before the engine refactor.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <set>
 
 #include "dht/network.hpp"
 #include "exp/overlays.hpp"
+#include "exp/workloads.hpp"
 #include "util/rng.hpp"
 
 namespace cycloid::exp {
@@ -175,6 +182,159 @@ TEST_P(ConformanceTest, FailSimultaneouslyLeavesWorkingNetwork) {
 TEST_P(ConformanceTest, NameIsStable) {
   auto net = make(10, 22);
   EXPECT_EQ(net->name(), overlay_label(GetParam()));
+}
+
+// ---------------------------------------------------------------------------
+// Routing-engine invariants (dht::Router), parameterized over all overlays.
+
+TEST_P(ConformanceTest, TraceLengthEqualsHopsAndDeliveryIsOwner) {
+  auto net = make(150, 24);
+  util::Rng rng(25);
+  for (int i = 0; i < 200; ++i) {
+    const NodeHandle from = net->random_node(rng);
+    const dht::KeyHash key = rng();
+    dht::LookupMetrics sink;
+    std::vector<dht::TraceStep> trace;
+    dht::RouterOptions options;
+    options.trace = &trace;
+    const dht::LookupResult result = net->route(from, key, sink, options);
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.destination, net->owner_of(key));
+    // One TraceStep per counted hop; the last step is the delivery node.
+    ASSERT_EQ(trace.size(), static_cast<std::size_t>(result.hops));
+    if (!trace.empty()) EXPECT_EQ(trace.back().node, result.destination);
+    int traced_timeouts = 0;
+    for (const dht::TraceStep& step : trace) {
+      EXPECT_TRUE(net->contains(step.node));
+      traced_timeouts += step.timeouts_before;
+    }
+    // Fresh network: no dead contacts anywhere along the route.
+    EXPECT_EQ(result.timeouts, 0);
+    EXPECT_EQ(traced_timeouts, 0);
+  }
+}
+
+TEST_P(ConformanceTest, TraceTimeoutDeltasSumToLookupTimeouts) {
+  auto net = make(300, 26);
+  util::Rng rng(27);
+  net->fail_ungraceful(0.25, rng);
+  for (int i = 0; i < 200; ++i) {
+    const NodeHandle from = net->random_node(rng);
+    const dht::KeyHash key = rng();
+    dht::LookupMetrics sink;
+    std::vector<dht::TraceStep> trace;
+    dht::RouterOptions options;
+    options.trace = &trace;
+    const dht::LookupResult result = net->route(from, key, sink, options);
+    ASSERT_EQ(trace.size(), static_cast<std::size_t>(result.hops));
+    // Every timeout the engine charged is attributed to exactly one hop
+    // (timeouts after the final hop only occur on failed lookups).
+    int traced_timeouts = 0;
+    for (const dht::TraceStep& step : trace) {
+      traced_timeouts += step.timeouts_before;
+    }
+    EXPECT_LE(traced_timeouts, result.timeouts);
+    // A "successful" lookup may still land off the ground-truth owner here
+    // (stale leaf sets before stabilization — counted as `incorrect` by the
+    // workloads and pinned by the golden totals below), but it must at
+    // least terminate at a live node.
+    if (result.success) {
+      EXPECT_TRUE(net->contains(result.destination));
+    }
+  }
+}
+
+TEST_P(ConformanceTest, HopCapReportsHopLimitStatus) {
+  auto net = make(200, 28);
+  util::Rng rng(29);
+  // Find a lookup that needs at least two hops, then cap it at one.
+  for (int i = 0; i < 500; ++i) {
+    const NodeHandle from = net->random_node(rng);
+    const dht::KeyHash key = rng();
+    dht::LookupMetrics sink;
+    if (net->route(from, key, sink, {}).hops < 2) continue;
+    dht::LookupMetrics capped_sink;
+    dht::RouterOptions options;
+    options.max_hops = 1;
+    const dht::LookupResult capped =
+        net->route(from, key, capped_sink, options);
+    EXPECT_FALSE(capped.success);
+    EXPECT_EQ(capped.status, dht::LookupStatus::kHopLimit);
+    EXPECT_EQ(capped.hops, 1);
+    EXPECT_EQ(capped_sink.failures, 1u);
+    return;
+  }
+  FAIL() << "no multi-hop lookup found in 500 draws";
+}
+
+// Sink totals captured from the per-overlay hop loops immediately before
+// the engine refactor (sparse 300-node networks, d=8 space, fixed seeds).
+// The engine must reproduce them bit for bit: hops, per-phase attribution,
+// timeout charges, failure counts, and owner-correctness are all covered.
+struct GoldenTotals {
+  std::uint64_t hops;
+  std::uint64_t timeouts;
+  std::uint64_t failures;
+  std::uint64_t guard_fallbacks;
+  std::array<std::uint64_t, dht::kMaxPhases> phase_hops;
+  std::uint64_t stat_failures;  // WorkloadStats::failures
+  std::uint64_t incorrect;      // WorkloadStats::incorrect
+};
+
+struct GoldenEntry {
+  OverlayKind kind;
+  GoldenTotals fresh;       // 3000 lookups, batch seed 1234
+  GoldenTotals after_fail;  // +fail_ungraceful(0.25, Rng(7)), 2000 @ 555
+};
+
+constexpr GoldenEntry kGoldenTotals[] = {
+    {OverlayKind::kCycloid7,
+     GoldenTotals{24653u, 0u, 0u, 0u, {5476u, 11205u, 7972u, 0u}, 0u, 0u},
+     GoldenTotals{8265u, 7154u, 0u, 0u, {2202u, 3337u, 2726u, 0u}, 0u, 1338u}},
+    {OverlayKind::kCycloid11,
+     GoldenTotals{19461u, 0u, 0u, 0u, {4346u, 10036u, 5079u, 0u}, 0u, 0u},
+     GoldenTotals{12375u, 14122u, 0u, 0u, {3301u, 4811u, 4263u, 0u}, 0u,
+                  827u}},
+    {OverlayKind::kViceroy,
+     GoldenTotals{32205u, 0u, 0u, 0u, {12158u, 7633u, 12414u, 0u}, 0u, 0u},
+     GoldenTotals{21225u, 0u, 0u, 0u, {7862u, 5000u, 8363u, 0u}, 0u, 0u}},
+    {OverlayKind::kChord,
+     GoldenTotals{14958u, 0u, 0u, 0u, {11969u, 2989u, 0u, 0u}, 0u, 0u},
+     GoldenTotals{10676u, 5978u, 92u, 0u, {8614u, 2062u, 0u, 0u}, 92u, 0u}},
+    {OverlayKind::kKoorde,
+     GoldenTotals{54242u, 0u, 0u, 0u, {20730u, 33512u, 0u, 0u}, 0u, 0u},
+     GoldenTotals{29791u, 13831u, 35u, 0u, {11608u, 18183u, 0u, 0u}, 35u,
+                  361u}},
+    {OverlayKind::kPastry,
+     GoldenTotals{10276u, 0u, 0u, 0u, {7929u, 2347u, 0u, 0u}, 0u, 0u},
+     GoldenTotals{7309u, 13765u, 0u, 0u, {5781u, 1528u, 0u, 0u}, 0u, 41u}},
+    {OverlayKind::kCan,
+     GoldenTotals{21901u, 0u, 0u, 0u, {21901u, 0u, 0u, 0u}, 0u, 0u},
+     GoldenTotals{11920u, 0u, 0u, 0u, {11920u, 0u, 0u, 0u}, 0u, 0u}},
+};
+
+void expect_totals(const GoldenTotals& want, const WorkloadStats& got) {
+  EXPECT_EQ(got.metrics.hops, want.hops);
+  EXPECT_EQ(got.metrics.timeouts, want.timeouts);
+  EXPECT_EQ(got.metrics.failures, want.failures);
+  EXPECT_EQ(got.metrics.guard_fallbacks, want.guard_fallbacks);
+  for (std::size_t p = 0; p < dht::kMaxPhases; ++p) {
+    EXPECT_EQ(got.metrics.phase_hops[p], want.phase_hops[p]) << "phase " << p;
+  }
+  EXPECT_EQ(got.failures, want.stat_failures);
+  EXPECT_EQ(got.incorrect, want.incorrect);
+}
+
+TEST_P(ConformanceTest, SinkTotalsMatchPreEngineSeedValues) {
+  const auto it =
+      std::find_if(std::begin(kGoldenTotals), std::end(kGoldenTotals),
+                   [&](const GoldenEntry& e) { return e.kind == GetParam(); });
+  ASSERT_NE(it, std::end(kGoldenTotals));
+  auto net = make_sparse_overlay(GetParam(), 8, 300, 42);
+  expect_totals(it->fresh, run_lookup_batch(*net, 3000, 1234, 1));
+  util::Rng rng(7);
+  net->fail_ungraceful(0.25, rng);
+  expect_totals(it->after_fail, run_lookup_batch(*net, 2000, 555, 1));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOverlays, ConformanceTest,

@@ -1,0 +1,279 @@
+// Unit tests of the shared routing engine (dht::Router) against synthetic
+// step policies over a tiny abstract universe — no overlay required. The
+// overlay-parameterized engine invariants live in dht_conformance_test.cpp.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dht/router.hpp"
+
+namespace cycloid::dht {
+namespace {
+
+/// Base policy: every node is alive unless listed dead; forwards nowhere.
+class FakePolicy : public StepPolicy {
+ public:
+  HopDecision next_hop(const RouteState&) override {
+    return HopDecision::deliver();
+  }
+  bool alive(NodeHandle node) const override {
+    return !dead_.contains(node);
+  }
+  int default_max_hops() const override { return 16; }
+
+  void kill(NodeHandle node) { dead_.insert(node); }
+
+ private:
+  std::set<NodeHandle> dead_;
+};
+
+TEST(DhtRouterTest, DeliverAtSourceCountsNoHops) {
+  FakePolicy policy;
+  LookupMetrics sink;
+  const LookupResult result = Router::run(policy, 7, sink);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.status, LookupStatus::kDelivered);
+  EXPECT_EQ(result.destination, 7u);
+  EXPECT_EQ(result.hops, 0);
+  EXPECT_EQ(sink.lookups, 1u);
+  EXPECT_EQ(sink.hops, 0u);
+}
+
+// The hop-cap satellite: a deliberately cyclic routing table (1 <-> 2
+// forever) must terminate with an explicit kHopLimit instead of hanging.
+class CyclicPolicy : public FakePolicy {
+ public:
+  HopDecision next_hop(const RouteState& state) override {
+    return HopDecision::forward(state.current() == 1 ? 2 : 1, 0, "cycle");
+  }
+};
+
+TEST(DhtRouterTest, CyclicRoutingTableTerminatesAtHopLimit) {
+  CyclicPolicy policy;
+  LookupMetrics sink;
+  const LookupResult result = Router::run(policy, 1, sink);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.status, LookupStatus::kHopLimit);
+  EXPECT_EQ(result.hops, policy.default_max_hops());
+  EXPECT_EQ(sink.failures, 1u);
+}
+
+TEST(DhtRouterTest, OptionsMaxHopsOverridesPolicyDefault) {
+  CyclicPolicy policy;
+  LookupMetrics sink;
+  RouterOptions options;
+  options.max_hops = 5;
+  const LookupResult result = Router::run(policy, 1, sink, options);
+  EXPECT_EQ(result.status, LookupStatus::kHopLimit);
+  EXPECT_EQ(result.hops, 5);
+}
+
+class FailingPolicy : public FakePolicy {
+ public:
+  HopDecision next_hop(const RouteState&) override {
+    return HopDecision::fail();
+  }
+};
+
+TEST(DhtRouterTest, FailReportsStatusAndPosition) {
+  FailingPolicy policy;
+  LookupMetrics sink;
+  const LookupResult result = Router::run(policy, 3, sink);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.status, LookupStatus::kFailed);
+  EXPECT_EQ(result.destination, 3u);  // where routing got stuck
+  EXPECT_EQ(sink.failures, 1u);
+}
+
+// attempt() charges one timeout per *distinct* departed node, no matter how
+// often the lookup retries the same dead contact.
+class ProbingPolicy : public FakePolicy {
+ public:
+  HopDecision next_hop(const RouteState& state) override {
+    EXPECT_FALSE(state.attempt(kNoNode));  // silent miss, never a timeout
+    EXPECT_FALSE(state.attempt(50));
+    EXPECT_FALSE(state.attempt(50));  // repeat: no extra charge
+    EXPECT_FALSE(state.attempt(51));
+    EXPECT_TRUE(state.attempt(52));
+    return HopDecision::deliver();
+  }
+};
+
+TEST(DhtRouterTest, AttemptChargesOneTimeoutPerDistinctDeadNode) {
+  ProbingPolicy policy;
+  policy.kill(50);
+  policy.kill(51);
+  LookupMetrics sink;
+  const LookupResult result = Router::run(policy, 1, sink);
+  EXPECT_EQ(result.timeouts, 2);
+  EXPECT_EQ(sink.timeouts, 2u);
+}
+
+// resolve_chain(): walks primary-then-backups, records the promotion it
+// learned, and consults the same sink's learnings on later lookups.
+class ChainPolicy : public FakePolicy {
+ public:
+  HopDecision next_hop(const RouteState& state) override {
+    resolved = state.resolve_chain(10, 11, {12, 13}, locally_broken);
+    return HopDecision::deliver();
+  }
+  NodeHandle resolved = kNoNode;
+  bool locally_broken = false;
+};
+
+TEST(DhtRouterTest, ResolveChainPromotesFirstLiveBackupAndLearns) {
+  ChainPolicy policy;
+  policy.kill(11);
+  policy.kill(12);
+  LookupMetrics sink;
+  Router::run(policy, 1, sink);
+  EXPECT_EQ(policy.resolved, 13u);
+  EXPECT_EQ(sink.timeouts, 2u);  // 11 and 12
+  ASSERT_TRUE(sink.learned_link(10).has_value());
+  EXPECT_EQ(*sink.learned_link(10), 13u);
+
+  // A later lookup through the same sink starts past the learned backup:
+  // the dead primary and first backup cost nothing the second time.
+  Router::run(policy, 1, sink);
+  EXPECT_EQ(policy.resolved, 13u);
+  EXPECT_EQ(sink.timeouts, 2u);
+}
+
+TEST(DhtRouterTest, ResolveChainMarksBrokenWhenExhausted) {
+  ChainPolicy policy;
+  policy.kill(11);
+  policy.kill(12);
+  policy.kill(13);
+  LookupMetrics sink;
+  Router::run(policy, 1, sink);
+  EXPECT_EQ(policy.resolved, kNoNode);
+  EXPECT_TRUE(sink.is_broken(10));
+  EXPECT_EQ(sink.timeouts, 3u);
+
+  // Consulted before re-probing: the second lookup charges nothing.
+  Router::run(policy, 1, sink);
+  EXPECT_EQ(policy.resolved, kNoNode);
+  EXPECT_EQ(sink.timeouts, 3u);
+}
+
+TEST(DhtRouterTest, ResolveChainHonoursLocallyBrokenFlag) {
+  ChainPolicy policy;
+  policy.locally_broken = true;
+  LookupMetrics sink;
+  Router::run(policy, 1, sink);
+  EXPECT_EQ(policy.resolved, kNoNode);
+  EXPECT_EQ(sink.timeouts, 0u);  // short-circuits before any probe
+}
+
+// The step-budget guard: the engine flips fallback() after the policy's
+// budget and counts the flip once in guard_fallbacks.
+class BudgetPolicy : public FakePolicy {
+ public:
+  HopDecision next_hop(const RouteState& state) override {
+    if (state.fallback()) return HopDecision::deliver();
+    steps_before_flip = state.hops();
+    return HopDecision::forward(state.current() + 1, 0, "walk");
+  }
+  int fallback_budget() const override { return 3; }
+  int steps_before_flip = 0;
+};
+
+TEST(DhtRouterTest, FallbackBudgetFlipIsCountedOnce) {
+  BudgetPolicy policy;
+  LookupMetrics sink;
+  const LookupResult result = Router::run(policy, 1, sink);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(sink.guard_fallbacks, 1u);
+  EXPECT_EQ(result.hops, policy.fallback_budget() + 1);
+}
+
+// forward_deliver: the hop is counted, then the lookup terminates without
+// the policy being consulted at the receiving node (ring final-step
+// semantics — the receiver's stale state must not bounce the key).
+class FinalHopPolicy : public FakePolicy {
+ public:
+  HopDecision next_hop(const RouteState&) override {
+    ++calls;
+    return HopDecision::forward_deliver(9, 1, "successor");
+  }
+  int calls = 0;
+};
+
+TEST(DhtRouterTest, ForwardDeliverSkipsTheReceiversView) {
+  FinalHopPolicy policy;
+  LookupMetrics sink;
+  const LookupResult result = Router::run(policy, 1, sink);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.status, LookupStatus::kDelivered);
+  EXPECT_EQ(result.destination, 9u);
+  EXPECT_EQ(result.hops, 1);
+  EXPECT_EQ(result.phase_hops[1], 1);
+  EXPECT_EQ(policy.calls, 1);  // never asked at node 9
+  EXPECT_EQ(sink.query_load_of(9), 1u);
+}
+
+// Tracing: one TraceStep per counted hop, carrying the phase tag, link
+// label, per-hop timeout delta, and the policy's link latency.
+class TracingPolicy : public FakePolicy {
+ public:
+  HopDecision next_hop(const RouteState& state) override {
+    if (state.current() == 1) {
+      EXPECT_FALSE(state.attempt(40));  // dead: charged to the first hop
+      return HopDecision::forward(2, 0, "a");
+    }
+    if (state.current() == 2) return HopDecision::forward(3, 1, "b");
+    return HopDecision::deliver();
+  }
+  double link_latency(NodeHandle a, NodeHandle b) const override {
+    return static_cast<double>(a + b);
+  }
+};
+
+TEST(DhtRouterTest, TraceRecordsEveryHop) {
+  TracingPolicy policy;
+  policy.kill(40);
+  LookupMetrics sink;
+  std::vector<TraceStep> trace;
+  RouterOptions options;
+  options.trace = &trace;
+  const LookupResult result = Router::run(policy, 1, sink, options);
+  ASSERT_EQ(trace.size(), static_cast<std::size_t>(result.hops));
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].node, 2u);
+  EXPECT_EQ(trace[0].phase, 0u);
+  EXPECT_STREQ(trace[0].link, "a");
+  EXPECT_EQ(trace[0].timeouts_before, 1);
+  EXPECT_DOUBLE_EQ(trace[0].latency, 3.0);
+  EXPECT_EQ(trace[1].node, 3u);
+  EXPECT_EQ(trace[1].phase, 1u);
+  EXPECT_STREQ(trace[1].link, "b");
+  EXPECT_EQ(trace[1].timeouts_before, 0);
+  EXPECT_DOUBLE_EQ(trace[1].latency, 5.0);
+}
+
+// was_visited(): only tracked when the policy opts in; includes the source.
+class VisitedPolicy : public FakePolicy {
+ public:
+  HopDecision next_hop(const RouteState& state) override {
+    EXPECT_TRUE(state.was_visited(1));
+    if (state.current() == 1) {
+      EXPECT_FALSE(state.was_visited(2));
+      return HopDecision::forward(2, 0, "step");
+    }
+    EXPECT_TRUE(state.was_visited(2));
+    return HopDecision::deliver();
+  }
+  bool track_visited() const override { return true; }
+};
+
+TEST(DhtRouterTest, VisitedTrackingIncludesSourceAndEveryHop) {
+  VisitedPolicy policy;
+  LookupMetrics sink;
+  const LookupResult result = Router::run(policy, 1, sink);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.hops, 1);
+}
+
+}  // namespace
+}  // namespace cycloid::dht
