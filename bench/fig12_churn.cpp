@@ -15,43 +15,39 @@ int main(int argc, char** argv) {
                        "Fig. 12 + Table 5: lookups during continuous churn");
   if (report.done()) return report.exit_code();
 
-  const auto duration = static_cast<double>(
-      bench::env_u64("CYCLOID_BENCH_CHURN_SECONDS", 3000));
+  const std::uint64_t seconds =
+      bench::env_u64("CYCLOID_BENCH_CHURN_SECONDS", 3000);
+  const auto duration = static_cast<double>(seconds);
   const std::vector<double> rates = {0.05, 0.10, 0.15, 0.20,
                                      0.25, 0.30, 0.35, 0.40};
+  const std::vector<exp::OverlayKind> kinds = exp::all_overlays();
 
   // Every (overlay, rate) cell is an independent simulation with its own
-  // seed, so the cells run in parallel; output order is fixed by the slot.
-  struct Cell {
-    exp::OverlayKind kind;
-    double rate;
-  };
-  std::vector<Cell> cells;
-  for (const exp::OverlayKind kind : exp::all_overlays()) {
-    for (const double rate : rates) cells.push_back(Cell{kind, rate});
-  }
-  std::vector<exp::ChurnRow> rows(cells.size());
-  util::parallel_for(cells.size(), bench::threads(), [&](std::size_t i) {
-    rows[i] = exp::run_churn_experiment(cells[i].kind, 8, cells[i].rate,
-                                        duration, 30.0, bench::kBenchSeed);
+  // seed, so the cells run in parallel; output order is fixed by the slot
+  // (cell i = kinds[i / rates.size()] at rates[i % rates.size()]).
+  std::vector<exp::ChurnRow> rows(kinds.size() * rates.size());
+  util::parallel_for(rows.size(), bench::threads(), [&](std::size_t i) {
+    rows[i] = exp::run_churn_experiment(kinds[i / rates.size()], 8,
+                                        rates[i % rates.size()], duration,
+                                        30.0, bench::kBenchSeed);
   });
+  const auto row_at = [&](std::size_t kind_idx, std::size_t rate_idx)
+      -> const exp::ChurnRow& {
+    return rows[kind_idx * rates.size() + rate_idx];
+  };
 
   {
     util::Table table({"R (joins/s = leaves/s)", "Cycloid-7", "Cycloid-11",
                        "Viceroy", "Chord", "Koorde"});
-    for (const double rate : rates) {
-      table.row().add(rate, 2);
-      for (const exp::OverlayKind kind : exp::all_overlays()) {
-        for (const auto& row : rows) {
-          if (row.kind == kind && row.join_leave_rate == rate) {
-            table.add(row.mean_path, 2);
-          }
-        }
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+      table.row().add(rates[ri], 2);
+      for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+        table.add(row_at(ki, ri).mean_path, 2);
       }
     }
     report.section("Fig. 12: path lengths under churn (2048-node start, "
                    "stabilization every 30 s, " +
-                       std::to_string(static_cast<int>(duration)) +
+                       std::to_string(seconds) +
                        " virtual seconds per cell)",
                    table);
   }
@@ -59,15 +55,12 @@ int main(int argc, char** argv) {
   {
     util::Table table({"R", "Cycloid-7", "Cycloid-11", "Viceroy", "Chord",
                        "Koorde"});
-    for (const double rate : rates) {
-      table.row().add(rate, 2);
-      for (const exp::OverlayKind kind : exp::all_overlays()) {
-        for (const auto& row : rows) {
-          if (row.kind == kind && row.join_leave_rate == rate) {
-            table.add_mean_p1_p99(row.mean_timeouts, row.timeouts_p1,
-                                  row.timeouts_p99, 3);
-          }
-        }
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+      table.row().add(rates[ri], 2);
+      for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+        const exp::ChurnRow& row = row_at(ki, ri);
+        table.add_mean_p1_p99(row.mean_timeouts, row.timeouts_p1,
+                              row.timeouts_p99, 3);
       }
     }
     report.section("Table 5: timeouts per lookup, mean (1st, 99th pct)",

@@ -1,0 +1,113 @@
+// Wall-clock lookup throughput — the repo's perf trajectory seed.
+//
+// Unlike the fig* binaries (which report simulated metrics and are byte-
+// stable run to run), this bench times real elapsed seconds: lookups/sec
+// for every overlay at n in {2^11, 2^14, 2^17} participants, single-threaded
+// and at the configured worker count. The simulated metrics (mean path
+// length) are printed alongside so a throughput regression can be told apart
+// from a routing change.
+//
+// The lookup hot path is allocation-free after warm-up (DESIGN.md §8): each
+// shard of exp::run_lookup_batch reuses one dht::RouterScratch and one
+// dense-slot query-load plane, so these numbers measure routing, not the
+// allocator.
+//
+// Knobs:
+//   CYCLOID_BENCH_PERF_MAX_NODES  largest network size to run (default 2^17;
+//                                 CI smoke sets 2048 — builds stay cheap)
+//   CYCLOID_BENCH_PERF_LOOKUPS    lookups per timed run (default 32768)
+//   CYCLOID_BENCH_THREADS         worker threads for the parallel runs
+//
+// Typical use: scripts/perf.sh, which writes BENCH_lookups.json via --json.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/overlays.hpp"
+#include "exp/workloads.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Smallest Cycloid dimension whose d * 2^d identifier space holds `nodes`
+/// (the sparse factories size every overlay's space from this).
+int dimension_for(std::uint64_t nodes) {
+  int d = 3;
+  while (static_cast<std::uint64_t>(d) * (1ULL << d) < nodes) ++d;
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cycloid;
+  bench::Report report(
+      argc, argv, "perf_lookup_throughput",
+      "Wall-clock lookups/sec for every overlay at n in {2^11, 2^14, 2^17}");
+  if (report.done()) return report.exit_code();
+
+  const std::uint64_t max_nodes =
+      bench::env_u64("CYCLOID_BENCH_PERF_MAX_NODES", 1ULL << 17);
+  const std::uint64_t lookups =
+      bench::env_u64("CYCLOID_BENCH_PERF_LOOKUPS", 32768);
+  const int threads = bench::threads();
+
+  std::vector<std::uint64_t> sizes;
+  for (const std::uint64_t n : {1ULL << 11, 1ULL << 14, 1ULL << 17}) {
+    if (n <= max_nodes) sizes.push_back(n);
+  }
+
+  for (const std::uint64_t n : sizes) {
+    const int dim = dimension_for(n);
+    util::Table table({"overlay", "nodes", "lookups", "build s", "1-thread s",
+                       "1-thread lookups/s",
+                       std::to_string(threads) + "-thread lookups/s",
+                       "mean path"});
+    for (const exp::OverlayKind kind : exp::extended_overlays()) {
+      const auto build_start = std::chrono::steady_clock::now();
+      const auto net = exp::make_sparse_overlay(
+          kind, dim, static_cast<std::size_t>(n), bench::kBenchSeed);
+      const double build_s = seconds_since(build_start);
+
+      // Warm-up: fault in node state, size the per-shard scratch buffers
+      // and dense query-load planes (untimed).
+      exp::run_lookup_batch(*net, std::min<std::uint64_t>(lookups, 4096),
+                            bench::kBenchSeed + 1, threads);
+
+      const auto seq_start = std::chrono::steady_clock::now();
+      const exp::WorkloadStats seq = exp::run_lookup_batch(
+          *net, lookups, bench::kBenchSeed + 2, /*threads=*/1);
+      const double seq_s = seconds_since(seq_start);
+
+      const auto par_start = std::chrono::steady_clock::now();
+      exp::run_lookup_batch(*net, lookups, bench::kBenchSeed + 2, threads);
+      const double par_s = seconds_since(par_start);
+
+      table.row()
+          .add(exp::overlay_label(kind))
+          .add(n)
+          .add(lookups)
+          .add(build_s, 3)
+          .add(seq_s, 3)
+          .add(static_cast<double>(lookups) / seq_s, 0)
+          .add(static_cast<double>(lookups) / par_s, 0)
+          .add(seq.mean_path(), 2);
+    }
+    report.section("Lookup throughput, n = " + std::to_string(n) +
+                       " (d = " + std::to_string(dim) + ")",
+                   table);
+  }
+
+  report.note("\n(wall-clock numbers; not byte-stable run to run. Simulated\n"
+              " metrics — mean path — stay seed-determined and comparable\n"
+              " to the fig* binaries.)\n");
+  return 0;
+}

@@ -228,8 +228,7 @@ NodeHandle CanNetwork::join_at(const Point& point) {
     }
     raw->zones.push_back(all);
     nodes_.emplace(handle, std::move(fresh));
-    handle_pos_.emplace(handle, handle_vec_.size());
-    handle_vec_.push_back(handle);
+    register_handle(handle);
     return handle;
   }
 
@@ -268,8 +267,7 @@ NodeHandle CanNetwork::join_at(const Point& point) {
   raw->zones.push_back(new_zone);
 
   nodes_.emplace(handle, std::move(fresh));
-  handle_pos_.emplace(handle, handle_vec_.size());
-  handle_vec_.push_back(handle);
+  register_handle(handle);
 
   // Adjacency can only change among the owner's old neighbourhood.
   std::set<NodeHandle> candidates = owner->neighbors;
@@ -286,12 +284,7 @@ void CanNetwork::unlink(NodeHandle handle) {
   for (const NodeHandle n : node->neighbors) {
     if (CanNode* other = find(n)) other->neighbors.erase(handle);
   }
-  const std::size_t pos = handle_pos_.at(handle);
-  const NodeHandle moved = handle_vec_.back();
-  handle_vec_[pos] = moved;
-  handle_pos_[moved] = pos;
-  handle_vec_.pop_back();
-  handle_pos_.erase(handle);
+  unregister_handle(handle);
   nodes_.erase(handle);
 }
 
@@ -301,15 +294,6 @@ std::vector<NodeHandle> CanNetwork::node_handles() const {
   for (const auto& [handle, node] : nodes_) handles.push_back(handle);
   std::sort(handles.begin(), handles.end());
   return handles;
-}
-
-bool CanNetwork::contains(NodeHandle node) const {
-  return nodes_.contains(node);
-}
-
-NodeHandle CanNetwork::random_node(util::Rng& rng) const {
-  CYCLOID_EXPECTS(!handle_vec_.empty());
-  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
 }
 
 std::vector<std::string> CanNetwork::phase_names() const { return {"greedy"}; }
@@ -384,7 +368,7 @@ class CanStepPolicy final : public dht::StepPolicy {
 
 }  // namespace
 
-LookupResult CanNetwork::route(NodeHandle from, dht::KeyHash key,
+LookupResult CanNetwork::route_impl(NodeHandle from, dht::KeyHash key,
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options) const {
   CYCLOID_EXPECTS(contains(from));

@@ -68,8 +68,7 @@ bool CycloidNetwork::insert(const CccId& id) {
   ring_.emplace(space_.ring_position(id), handle);
   by_level_[id.cyclic].emplace(id.cubical, handle);
   cycles_[id.cubical].emplace(id.cyclic, handle);
-  handle_pos_.emplace(handle, handle_vec_.size());
-  handle_vec_.push_back(handle);
+  register_handle(handle);
 
   compute_routing_table(*raw);
   refresh_leafsets_around(id.cubical);
@@ -88,13 +87,7 @@ void CycloidNetwork::unlink(NodeHandle handle) {
   cycle_it->second.erase(id.cyclic);
   if (cycle_it->second.empty()) cycles_.erase(cycle_it);
 
-  const std::size_t pos = handle_pos_.at(handle);
-  const NodeHandle moved = handle_vec_.back();
-  handle_vec_[pos] = moved;
-  handle_pos_[moved] = pos;
-  handle_vec_.pop_back();
-  handle_pos_.erase(handle);
-
+  unregister_handle(handle);
   nodes_.erase(it);
 }
 
@@ -123,15 +116,6 @@ std::vector<NodeHandle> CycloidNetwork::node_handles() const {
   handles.reserve(ring_.size());
   for (const auto& [pos, handle] : ring_) handles.push_back(handle);
   return handles;
-}
-
-bool CycloidNetwork::contains(NodeHandle node) const {
-  return nodes_.contains(node);
-}
-
-NodeHandle CycloidNetwork::random_node(util::Rng& rng) const {
-  CYCLOID_EXPECTS(!handle_vec_.empty());
-  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
 }
 
 std::vector<std::string> CycloidNetwork::phase_names() const {
@@ -318,6 +302,13 @@ std::vector<NodeHandle> CycloidNetwork::leaf_candidates(
     const CycloidNode& node) const {
   std::vector<NodeHandle> out;
   out.reserve(4 * static_cast<std::size_t>(leaf_width_));
+  leaf_candidates_into(node, out);
+  return out;
+}
+
+void CycloidNetwork::leaf_candidates_into(
+    const CycloidNode& node, std::vector<NodeHandle>& out) const {
+  out.clear();
   const NodeHandle self = handle_of(node.id);
   const auto push = [&](const std::vector<NodeHandle>& entries) {
     for (const NodeHandle h : entries) {
@@ -329,7 +320,6 @@ std::vector<NodeHandle> CycloidNetwork::leaf_candidates(
   push(node.inside_succ);
   push(node.outside_pred);
   push(node.outside_succ);
-  return out;
 }
 
 bool CycloidNetwork::key_in_leaf_range(const CycloidNode& node,
@@ -421,7 +411,9 @@ class CycloidStepPolicy final : public dht::StepPolicy {
     // timeout on first contact.
     NodeHandle best_leaf = kNoNode;
     std::uint64_t best_leaf_rank = cur_rank;
-    for (const NodeHandle h : net_.leaf_candidates(cur)) {
+    std::vector<NodeHandle>& leafs = state.candidate_buffer();
+    net_.leaf_candidates_into(cur, leafs);
+    for (const NodeHandle h : leafs) {
       if (!state.attempt(h)) continue;
       const std::uint64_t rank =
           space.closeness_rank(key_, CycloidNetwork::id_of(h));
@@ -530,9 +522,9 @@ class CycloidStepPolicy final : public dht::StepPolicy {
 
 }  // namespace
 
-LookupResult CycloidNetwork::route(NodeHandle from, dht::KeyHash key,
-                                   dht::LookupMetrics& sink,
-                                   const dht::RouterOptions& options) const {
+LookupResult CycloidNetwork::route_impl(
+    NodeHandle from, dht::KeyHash key, dht::LookupMetrics& sink,
+    const dht::RouterOptions& options) const {
   CYCLOID_EXPECTS(contains(from));
   CycloidStepPolicy policy(*this, key_id(key));
   return dht::Router::run(policy, from, sink, options);
@@ -542,6 +534,7 @@ LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,
                                        dht::LookupMetrics& sink,
                                        std::vector<RouteStep>* trace) const {
   CYCLOID_EXPECTS(contains(from));
+  sink.bind(*this);  // route() binds automatically; this entry is direct
   dht::RouterOptions options;
   options.trace = trace;
   CycloidStepPolicy policy(*this, key);

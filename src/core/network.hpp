@@ -84,6 +84,12 @@ class CycloidNetwork final : public dht::DhtNetwork {
   /// (exposed for the step policy).
   std::vector<dht::NodeHandle> leaf_candidates(const CycloidNode& node) const;
 
+  /// Allocation-free variant: clears `out` and fills it with the same
+  /// candidates (the step policy routes through the engine's reusable
+  /// candidate buffer on the lookup hot path).
+  void leaf_candidates_into(const CycloidNode& node,
+                            std::vector<dht::NodeHandle>& out) const;
+
   /// True when key's cycle lies within the cubical span covered by the
   /// node's outside leaf set (the paper's "target ID is within the leaf
   /// sets" traverse-phase trigger).
@@ -129,15 +135,9 @@ class CycloidNetwork final : public dht::DhtNetwork {
 
   // DhtNetwork interface -----------------------------------------------
   std::string name() const override;
-  std::size_t node_count() const override { return nodes_.size(); }
   std::vector<dht::NodeHandle> node_handles() const override;
-  bool contains(dht::NodeHandle node) const override;
-  dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  dht::LookupResult route(dht::NodeHandle from, dht::KeyHash key,
-                          dht::LookupMetrics& sink,
-                          const dht::RouterOptions& options) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
@@ -149,6 +149,11 @@ class CycloidNetwork final : public dht::DhtNetwork {
   enum Phase : std::size_t { kAscend = 0, kDescend = 1, kTraverse = 2 };
 
  private:
+  dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,
+                               dht::LookupMetrics& sink,
+                               const dht::RouterOptions& options)
+      const override;
+
   CycloidNode* find(dht::NodeHandle handle);
   const CycloidNode* find(dht::NodeHandle handle) const;
   bool alive(dht::NodeHandle handle) const { return contains(handle); }
@@ -187,9 +192,6 @@ class CycloidNetwork final : public dht::DhtNetwork {
   std::vector<std::map<std::uint64_t, dht::NodeHandle>> by_level_;
   /// Per local cycle: cubical -> (cyclic -> handle).
   std::map<std::uint64_t, std::map<std::uint32_t, dht::NodeHandle>> cycles_;
-  /// Dense handle list + positions for O(1) random_node and removal.
-  std::vector<dht::NodeHandle> handle_vec_;
-  std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
 };
 
 }  // namespace cycloid::ccc

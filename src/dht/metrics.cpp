@@ -1,6 +1,9 @@
 #include "dht/metrics.hpp"
 
+#include <algorithm>
+
 #include "dht/network.hpp"
+#include "util/contracts.hpp"
 
 namespace cycloid::dht {
 
@@ -14,9 +17,25 @@ void LookupMetrics::note(const LookupResult& result) {
   }
 }
 
+void LookupMetrics::bind(const DhtNetwork& net) {
+  if (net_ == &net) return;
+  CYCLOID_EXPECTS(net_ == nullptr);  // one network per sink lifetime
+  net_ = &net;
+  slots_ = &net.slot_index();
+  query_load_dense_.assign(net.node_count(), 0);
+}
+
 std::uint64_t LookupMetrics::query_load_of(NodeHandle node) const {
-  const auto it = query_load_.find(node);
-  return it == query_load_.end() ? 0 : it->second;
+  std::uint64_t load = 0;
+  if (slots_ != nullptr) {
+    const auto slot = slots_->find(node);
+    if (slot != slots_->end() && slot->second < query_load_dense_.size()) {
+      load = query_load_dense_[slot->second];
+    }
+  }
+  const auto it = query_load_overflow_.find(node);
+  if (it != query_load_overflow_.end()) load += it->second;
+  return load;
 }
 
 std::vector<std::uint64_t> LookupMetrics::query_load_vector(
@@ -27,6 +46,21 @@ std::vector<std::uint64_t> LookupMetrics::query_load_vector(
     loads.push_back(query_load_of(handle));
   }
   return loads;
+}
+
+std::unordered_map<NodeHandle, std::uint64_t> LookupMetrics::query_load()
+    const {
+  std::unordered_map<NodeHandle, std::uint64_t> loads = query_load_overflow_;
+  for (std::size_t slot = 0; slot < query_load_dense_.size(); ++slot) {
+    if (query_load_dense_[slot] == 0) continue;
+    loads[net_->handle_at(slot)] += query_load_dense_[slot];
+  }
+  return loads;
+}
+
+void LookupMetrics::clear_query_load() {
+  std::fill(query_load_dense_.begin(), query_load_dense_.end(), 0);
+  query_load_overflow_.clear();
 }
 
 std::optional<NodeHandle> LookupMetrics::learned_link(NodeHandle node) const {
@@ -44,14 +78,42 @@ void LookupMetrics::merge(const LookupMetrics& other) {
   for (std::size_t p = 0; p < kMaxPhases; ++p) {
     phase_hops[p] += other.phase_hops[p];
   }
-  for (const auto& [node, load] : other.query_load_) {
-    query_load_[node] += load;
-  }
+  merge_query_load(other);
   for (const auto& [node, target] : other.learned_links_) {
     learned_links_.emplace(node, target);
   }
   broken_links_.insert(other.broken_links_.begin(),
                        other.broken_links_.end());
+}
+
+void LookupMetrics::merge_query_load(const LookupMetrics& other) {
+  if (other.slots_ != nullptr) {
+    if (slots_ != nullptr) {
+      // Dense + dense: shards of one batch are bound to the same network,
+      // so the planes add element-wise (the fast fig8/fig10 merge).
+      CYCLOID_EXPECTS(net_ == other.net_);
+      if (query_load_dense_.size() < other.query_load_dense_.size()) {
+        query_load_dense_.resize(other.query_load_dense_.size(), 0);
+      }
+      for (std::size_t slot = 0; slot < other.query_load_dense_.size();
+           ++slot) {
+        query_load_dense_[slot] += other.query_load_dense_[slot];
+      }
+    } else {
+      // Unbound registry absorbing a bound batch: fold the dense plane back
+      // into handle keys. Never adopt the binding — the registry outlives
+      // membership changes, and slots are only stable between them.
+      for (std::size_t slot = 0; slot < other.query_load_dense_.size();
+           ++slot) {
+        if (other.query_load_dense_[slot] == 0) continue;
+        query_load_overflow_[other.net_->handle_at(slot)] +=
+            other.query_load_dense_[slot];
+      }
+    }
+  }
+  for (const auto& [node, load] : other.query_load_overflow_) {
+    query_load_overflow_[node] += load;
+  }
 }
 
 }  // namespace cycloid::dht

@@ -44,16 +44,49 @@ class LookupMetrics {
   }
 
   // Per-node query load (paper Fig. 10) ----------------------------------
+  //
+  // Two representations, one logical plane. A sink *bound* to a network
+  // (DhtNetwork::route binds automatically) charges a dense
+  // vector indexed by the network's stable node slot — no hashing and no
+  // allocation on the hot path. Unbound sinks (engine unit tests driving
+  // dht::Router directly) and handles the bound network does not know fall
+  // back to a handle-keyed overflow map. Every accessor sums both, so the
+  // observable values are identical to the pre-dense representation.
+  //
+  // Contract: a sink binds to one network for its lifetime, and a bound
+  // sink must not span membership changes — swap-remove reuses slots, so a
+  // leave+join between counts would misattribute load. Every driver in
+  // this repo already obeys this (batch sinks live inside one frozen-
+  // membership batch; the sequential wrapper uses a fresh sink per lookup).
+
+  /// Bind the query-load plane to `net`'s dense slot index. Idempotent for
+  /// the same network; binding to a second network is a contract violation.
+  void bind(const DhtNetwork& net);
+  bool bound() const noexcept { return slots_ != nullptr; }
+
   /// Count one lookup message received by `node` (intermediate or final).
-  void count_query(NodeHandle node) { ++query_load_[node]; }
+  void count_query(NodeHandle node) {
+    if (slots_ != nullptr) {
+      const auto it = slots_->find(node);
+      if (it != slots_->end()) {
+        if (it->second >= query_load_dense_.size()) {
+          query_load_dense_.resize(it->second + 1, 0);  // post-bind joins
+        }
+        ++query_load_dense_[it->second];
+        return;
+      }
+    }
+    ++query_load_overflow_[node];
+  }
   std::uint64_t query_load_of(NodeHandle node) const;
   /// Per-node loads in the network's canonical node order — one entry per
   /// live node, zeros included.
   std::vector<std::uint64_t> query_load_vector(const DhtNetwork& net) const;
-  const std::unordered_map<NodeHandle, std::uint64_t>& query_load() const {
-    return query_load_;
-  }
-  void clear_query_load() { query_load_.clear(); }
+  /// Legacy handle-keyed view (thin adapter: materialized from the dense
+  /// plane plus the overflow map; nodes with zero load are omitted).
+  std::unordered_map<NodeHandle, std::uint64_t> query_load() const;
+  /// Zero the loads; a bound sink stays bound and keeps its capacity.
+  void clear_query_load();
 
   // Repair-on-timeout plane ----------------------------------------------
   // A const lookup cannot rewrite a node's stale link, but it can record
@@ -84,7 +117,18 @@ class LookupMetrics {
   void merge(const LookupMetrics& other);
 
  private:
-  std::unordered_map<NodeHandle, std::uint64_t> query_load_;
+  void merge_query_load(const LookupMetrics& other);
+
+  /// Bound network (cold-path operations: materializing handle-keyed views,
+  /// folding the dense plane into an unbound sink on merge).
+  const DhtNetwork* net_ = nullptr;
+  /// The bound network's handle -> slot index (hot path; pointer to the map
+  /// object itself, which outlives any rehash).
+  const std::unordered_map<NodeHandle, std::size_t>* slots_ = nullptr;
+  /// Query load by node slot (bound sinks).
+  std::vector<std::uint64_t> query_load_dense_;
+  /// Query load by handle (unbound sinks; handles unknown to the network).
+  std::unordered_map<NodeHandle, std::uint64_t> query_load_overflow_;
   std::unordered_map<NodeHandle, NodeHandle> learned_links_;
   std::unordered_set<NodeHandle> broken_links_;
 };

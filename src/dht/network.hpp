@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dht/metrics.hpp"
 #include "dht/router.hpp"
 #include "dht/types.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace cycloid::dht {
@@ -44,17 +46,53 @@ class DhtNetwork {
   /// Human-readable overlay name ("Cycloid-7", "Viceroy", ...).
   virtual std::string name() const = 0;
 
+  // Membership registry --------------------------------------------------
+  // The base class owns the dense handle list every overlay used to keep
+  // privately: a swap-remove vector plus a handle -> position map,
+  // maintained by the overlays through register_handle/unregister_handle.
+  // It gives O(1) node_count/contains/random_node, and — because a node's
+  // position is stable between membership changes — a *slot* identity that
+  // LookupMetrics uses to charge query load into a dense vector instead of
+  // a hash map (the lookup hot path).
+
+  /// Sentinel returned by slot_of for non-members.
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   /// Number of live participants.
-  virtual std::size_t node_count() const = 0;
+  std::size_t node_count() const noexcept { return handle_vec_.size(); }
+
+  /// True when `node` is a live participant.
+  bool contains(NodeHandle node) const { return handle_pos_.contains(node); }
+
+  /// Uniformly random live node.
+  NodeHandle random_node(util::Rng& rng) const {
+    CYCLOID_EXPECTS(!handle_vec_.empty());
+    return handle_vec_[static_cast<std::size_t>(
+        rng.below(handle_vec_.size()))];
+  }
+
+  /// Dense slot of a live node in [0, node_count()), kNoSlot otherwise.
+  /// Stable between membership changes; swap-remove reuses the departing
+  /// node's slot for the tail node.
+  std::size_t slot_of(NodeHandle node) const {
+    const auto it = handle_pos_.find(node);
+    return it == handle_pos_.end() ? kNoSlot : it->second;
+  }
+
+  /// Inverse of slot_of for live slots.
+  NodeHandle handle_at(std::size_t slot) const {
+    CYCLOID_EXPECTS(slot < handle_vec_.size());
+    return handle_vec_[slot];
+  }
+
+  /// The full handle -> slot index (LookupMetrics::bind keeps a pointer to
+  /// the map object, which outlives rehashes).
+  const std::unordered_map<NodeHandle, std::size_t>& slot_index() const {
+    return handle_pos_;
+  }
 
   /// Handles of all live nodes (ascending identifier order).
   virtual std::vector<NodeHandle> node_handles() const = 0;
-
-  /// True when `node` is a live participant.
-  virtual bool contains(NodeHandle node) const = 0;
-
-  /// Uniformly random live node.
-  virtual NodeHandle random_node(util::Rng& rng) const = 0;
 
   /// Names of the routing phases reported in LookupResult::phase_hops.
   virtual std::vector<std::string> phase_names() const = 0;
@@ -68,10 +106,14 @@ class DhtNetwork {
   /// counting hops, timeouts, and per-phase costs into `sink`. Read-only
   /// with respect to the network: safe to call from many threads at once
   /// (one sink per thread) provided no mutating member runs concurrently.
-  /// Implementations build a per-lookup step policy and hand it to
-  /// dht::Router, which owns the hop loop.
-  virtual LookupResult route(NodeHandle from, KeyHash key, LookupMetrics& sink,
-                             const RouterOptions& options) const = 0;
+  /// Binds the sink's query-load plane to this network's dense slot index,
+  /// then dispatches to the overlay's route_impl, which builds a per-lookup
+  /// step policy and hands it to dht::Router (the hop loop owner).
+  LookupResult route(NodeHandle from, KeyHash key, LookupMetrics& sink,
+                     const RouterOptions& options) const {
+    sink.bind(*this);
+    return route_impl(from, key, sink, options);
+  }
 
   /// Route with default engine options (the common batch-driver entry).
   LookupResult lookup(NodeHandle from, KeyHash key,
@@ -150,6 +192,27 @@ class DhtNetwork {
   const MetricsRegistry& metrics() const { return metrics_; }
 
  protected:
+  /// The overlay half of route(): pure routing against the overlay's state.
+  virtual LookupResult route_impl(NodeHandle from, KeyHash key,
+                                  LookupMetrics& sink,
+                                  const RouterOptions& options) const = 0;
+
+  /// Membership-registry hooks: overlays call these exactly where they
+  /// insert/erase their node-state maps, so the registry and the overlay
+  /// state are never observably out of sync.
+  void register_handle(NodeHandle node) {
+    handle_pos_.emplace(node, handle_vec_.size());
+    handle_vec_.push_back(node);
+  }
+  void unregister_handle(NodeHandle node) {
+    const std::size_t pos = handle_pos_.at(node);
+    const NodeHandle moved = handle_vec_.back();
+    handle_vec_[pos] = moved;
+    handle_pos_[moved] = pos;
+    handle_vec_.pop_back();
+    handle_pos_.erase(node);
+  }
+
   /// Overlay hook: apply the repair promotions a finished sink learned
   /// (Koorde promotes live backups into dead de Bruijn pointers). Default:
   /// nothing to repair.
@@ -164,6 +227,12 @@ class DhtNetwork {
   }
 
   MetricsRegistry metrics_;
+
+ private:
+  /// Dense handle list + positions: O(1) random_node and removal, and the
+  /// stable slot identity behind slot_of/handle_at.
+  std::vector<NodeHandle> handle_vec_;
+  std::unordered_map<NodeHandle, std::size_t> handle_pos_;
 };
 
 }  // namespace cycloid::dht

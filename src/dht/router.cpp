@@ -9,16 +9,17 @@ namespace cycloid::dht {
 bool RouteState::attempt(NodeHandle node) const {
   if (node == kNoNode) return false;
   if (policy_.alive(node)) return true;
-  if (std::find(dead_seen_.begin(), dead_seen_.end(), node) ==
-      dead_seen_.end()) {
-    dead_seen_.push_back(node);
+  if (std::find(scratch_.dead_seen.begin(), scratch_.dead_seen.end(), node) ==
+      scratch_.dead_seen.end()) {
+    scratch_.dead_seen.push_back(node);
     ++result_.timeouts;
   }
   return false;
 }
 
 bool RouteState::was_visited(NodeHandle node) const {
-  return std::find(visited_.begin(), visited_.end(), node) != visited_.end();
+  return std::find(scratch_.visited.begin(), scratch_.visited.end(), node) !=
+         scratch_.visited.end();
 }
 
 NodeHandle RouteState::resolve_chain(NodeHandle owner, NodeHandle primary,
@@ -46,10 +47,17 @@ NodeHandle RouteState::resolve_chain(NodeHandle owner, NodeHandle primary,
 
 LookupResult Router::run(StepPolicy& policy, NodeHandle from,
                          LookupMetrics& sink, const RouterOptions& options) {
+  // Caller-provided scratch makes repeated lookups allocation-free once the
+  // buffers are warm; without one the engine falls back to per-call locals.
+  RouterScratch local_scratch;
+  RouterScratch& scratch =
+      options.scratch != nullptr ? *options.scratch : local_scratch;
+  scratch.clear();
+
   LookupResult result;
-  RouteState state(policy, sink, result);
+  RouteState state(policy, sink, result, scratch);
   state.current_ = from;
-  if (policy.track_visited()) state.visited_.push_back(from);
+  if (policy.track_visited()) scratch.visited.push_back(from);
 
   const int max_hops =
       options.max_hops > 0 ? options.max_hops : policy.default_max_hops();
@@ -94,7 +102,7 @@ LookupResult Router::run(StepPolicy& policy, NodeHandle from,
     }
     state.timeouts_at_last_hop_ = result.timeouts;
     state.current_ = decision.next;
-    if (policy.track_visited()) state.visited_.push_back(decision.next);
+    if (policy.track_visited()) scratch.visited.push_back(decision.next);
     // Sender-decided delivery: the hop completes the lookup without
     // consulting the receiving node's (possibly stale) local view.
     if (decision.final_hop) break;

@@ -46,6 +46,27 @@ struct TraceStep {
   double latency = 0.0;        ///< simulated link latency of this hop
 };
 
+/// Reusable per-lookup buffers of the engine. A caller that routes many
+/// lookups passes the same scratch every time (RouterOptions::scratch):
+/// the engine clears the buffers but keeps their capacity, so a warmed-up
+/// batch performs zero heap allocations per lookup. One scratch per thread
+/// — it is engine working state, never shared and never read back.
+struct RouterScratch {
+  /// Distinct departed nodes contacted (RouteState::attempt dedup).
+  std::vector<NodeHandle> dead_seen;
+  /// Nodes the route passed through (policies with track_visited()).
+  std::vector<NodeHandle> visited;
+  /// Borrowed by step policies for per-hop candidate lists
+  /// (RouteState::candidate_buffer).
+  std::vector<NodeHandle> candidates;
+
+  void clear() noexcept {
+    dead_seen.clear();
+    visited.clear();
+    candidates.clear();
+  }
+};
+
 /// Per-call knobs of the routing engine.
 struct RouterOptions {
   /// Maximum message forwardings before the engine aborts the lookup with
@@ -54,6 +75,9 @@ struct RouterOptions {
   int max_hops = 0;
   /// When non-null, every counted hop is appended as a TraceStep.
   std::vector<TraceStep>* trace = nullptr;
+  /// When non-null, the engine routes out of these caller-owned buffers
+  /// instead of per-call locals (the zero-allocation batch hot path).
+  RouterScratch* scratch = nullptr;
 };
 
 /// A step policy's verdict for the current position.
@@ -151,6 +175,13 @@ class RouteState {
   /// for policies with track_visited()).
   bool was_visited(NodeHandle node) const;
 
+  /// Engine-owned spare buffer for the policy's per-hop candidate list
+  /// (cleared by the caller, capacity reused across lookups — Cycloid's
+  /// leaf-set enumeration routes through this instead of allocating).
+  std::vector<NodeHandle>& candidate_buffer() const noexcept {
+    return scratch_.candidates;
+  }
+
   /// Walk a primary-then-backups pointer chain owned by `owner`, consulting
   /// the sink's learned repairs first: a previously learned promotion skips
   /// straight past the entries it already found dead, a node marked broken
@@ -165,20 +196,20 @@ class RouteState {
   friend class Router;
 
   RouteState(const StepPolicy& policy, LookupMetrics& sink,
-             LookupResult& result)
-      : policy_(policy), sink_(sink), result_(result) {}
+             LookupResult& result, RouterScratch& scratch)
+      : policy_(policy), sink_(sink), result_(result), scratch_(scratch) {}
 
   const StepPolicy& policy_;
   LookupMetrics& sink_;
   LookupResult& result_;
+  /// Engine buffers (dead-seen dedup — small, linear scan beats hashing —
+  /// visited tracking, and the policy candidate buffer). Either the
+  /// caller's reusable scratch or Router::run's per-call local.
+  RouterScratch& scratch_;
   NodeHandle current_ = kNoNode;
   bool fallback_ = false;
   int steps_ = 0;
   int timeouts_at_last_hop_ = 0;
-  /// Distinct departed nodes contacted (small; linear scan beats hashing).
-  mutable std::vector<NodeHandle> dead_seen_;
-  /// Nodes the route passed through (only when policy_.track_visited()).
-  std::vector<NodeHandle> visited_;
 };
 
 /// The hop loop. `run` drives `policy` from `from` until it delivers,

@@ -4,6 +4,8 @@
 #include <array>
 #include <cstdint>
 
+#include "util/contracts.hpp"
+
 namespace cycloid::dht {
 
 /// Opaque per-overlay node handle. Each overlay documents its encoding
@@ -52,6 +54,7 @@ struct LookupResult {
   std::array<int, kMaxPhases> phase_hops{};
 
   void count_hop(std::size_t phase) {
+    CYCLOID_EXPECTS(phase < kMaxPhases);
     ++hops;
     ++phase_hops[phase];
   }

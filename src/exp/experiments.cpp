@@ -228,12 +228,18 @@ ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
 
   // Per-node stabilization every `stabilize_period` seconds, with phases
   // uniformly distributed across the interval. A node's timer dies with it.
+  // The stored closure holds itself only weakly: a shared self-capture
+  // would form a refcount cycle and leak the function object (the local
+  // `stabilizer` below is the one strong owner, and it outlives the queue
+  // run, so lock() always succeeds while events still fire).
   auto stabilizer = std::make_shared<std::function<void(dht::NodeHandle)>>();
   *stabilizer = [&net, &queue, stabilize_period,
-                 stabilizer](dht::NodeHandle h) {
+                 weak = std::weak_ptr(stabilizer)](dht::NodeHandle h) {
     if (!net->contains(h)) return;
     net->stabilize_one(h);
-    queue.schedule_in(stabilize_period, [stabilizer, h] { (*stabilizer)(h); });
+    queue.schedule_in(stabilize_period, [weak, h] {
+      if (const auto self = weak.lock()) (*self)(h);
+    });
   };
   const auto arm_stabilizer = [&](dht::NodeHandle h, double phase) {
     queue.schedule_in(phase, [stabilizer, h] { (*stabilizer)(h); });

@@ -41,12 +41,17 @@ void WorkloadStats::merge(const WorkloadStats& other) {
 namespace {
 
 /// The shared inner loop: `count` lookups drawn from `rng` into `out`.
+/// `scratch` is this worker's reusable engine buffer — after the first few
+/// lookups warm its capacity, the loop performs no per-lookup allocations.
 void run_into(const dht::DhtNetwork& net, std::uint64_t count, util::Rng& rng,
-              bool check_owner, WorkloadStats& out) {
+              bool check_owner, WorkloadStats& out,
+              dht::RouterScratch& scratch) {
+  dht::RouterOptions options;
+  options.scratch = &scratch;
   for (std::uint64_t i = 0; i < count; ++i) {
     const dht::NodeHandle source = net.random_node(rng);
     const dht::KeyHash key = rng();
-    const dht::LookupResult result = net.lookup(source, key, out.metrics);
+    const dht::LookupResult result = net.route(source, key, out.metrics, options);
     out.note(result, !check_owner || !result.success ||
                          result.destination == net.owner_of(key));
   }
@@ -59,7 +64,8 @@ WorkloadStats run_random_lookups(const dht::DhtNetwork& net,
                                  bool check_owner) {
   WorkloadStats out;
   out.phase_names = net.phase_names();
-  run_into(net, count, rng, check_owner, out);
+  dht::RouterScratch scratch;
+  run_into(net, count, rng, check_owner, out, scratch);
   return out;
 }
 
@@ -77,11 +83,18 @@ WorkloadStats run_lookup_batch(const dht::DhtNetwork& net, std::uint64_t count,
     // Per-shard stream: decorrelate the shard index into a full 64-bit
     // seed (splitmix64-style), so streams never overlap in practice.
     util::Rng rng(util::mix64(seed ^ ((s + 1) * 0x9e3779b97f4a7c15ULL)));
-    run_into(net, n, rng, check_owner, parts[s]);
+    // Per-shard scratch: engine buffers warm up once per shard and are
+    // reused across its kLookupShardSize lookups (never shared; DESIGN.md
+    // §8). Results do not depend on scratch reuse.
+    dht::RouterScratch scratch;
+    run_into(net, n, rng, check_owner, parts[s], scratch);
   });
 
   WorkloadStats out;
   out.phase_names = net.phase_names();
+  // Bind the merged sink before the shard sinks fold in, so the batch-level
+  // query-load plane stays dense (shard merges add element-wise).
+  out.metrics.bind(net);
   for (const WorkloadStats& part : parts) out.merge(part);
   return out;
 }

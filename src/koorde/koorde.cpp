@@ -54,8 +54,7 @@ bool KoordeNetwork::insert(std::uint64_t id) {
   KoordeNode* raw = node.get();
   nodes_.emplace(id, std::move(node));
   ring_.emplace(id, id);
-  handle_pos_.emplace(id, handle_vec_.size());
-  handle_vec_.push_back(id);
+  register_handle(id);
 
   compute_state(*raw);
   refresh_ring_around(id);
@@ -65,12 +64,7 @@ bool KoordeNetwork::insert(std::uint64_t id) {
 void KoordeNetwork::unlink(NodeHandle handle) {
   CYCLOID_EXPECTS(nodes_.contains(handle));
   ring_.erase(handle);
-  const std::size_t pos = handle_pos_.at(handle);
-  const NodeHandle moved = handle_vec_.back();
-  handle_vec_[pos] = moved;
-  handle_pos_[moved] = pos;
-  handle_vec_.pop_back();
-  handle_pos_.erase(handle);
+  unregister_handle(handle);
   nodes_.erase(handle);
 }
 
@@ -95,15 +89,6 @@ std::vector<NodeHandle> KoordeNetwork::node_handles() const {
   handles.reserve(ring_.size());
   for (const auto& [id, handle] : ring_) handles.push_back(handle);
   return handles;
-}
-
-bool KoordeNetwork::contains(NodeHandle node) const {
-  return nodes_.contains(node);
-}
-
-NodeHandle KoordeNetwork::random_node(util::Rng& rng) const {
-  CYCLOID_EXPECTS(!handle_vec_.empty());
-  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
 }
 
 std::vector<std::string> KoordeNetwork::phase_names() const {
@@ -315,7 +300,7 @@ class KoordeStepPolicy final : public dht::StepPolicy {
 
 }  // namespace
 
-LookupResult KoordeNetwork::route(NodeHandle from, dht::KeyHash key,
+LookupResult KoordeNetwork::route_impl(NodeHandle from, dht::KeyHash key,
                                   dht::LookupMetrics& sink,
                                   const dht::RouterOptions& options) const {
   const KoordeNode* source = find(from);

@@ -86,15 +86,9 @@ class KoordeNetwork final : public dht::DhtNetwork {
 
   // DhtNetwork interface -----------------------------------------------
   std::string name() const override { return "Koorde"; }
-  std::size_t node_count() const override { return nodes_.size(); }
   std::vector<dht::NodeHandle> node_handles() const override;
-  bool contains(dht::NodeHandle node) const override;
-  dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  dht::LookupResult route(dht::NodeHandle from, dht::KeyHash key,
-                          dht::LookupMetrics& sink,
-                          const dht::RouterOptions& options) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
@@ -108,6 +102,10 @@ class KoordeNetwork final : public dht::DhtNetwork {
   void apply_repairs(const dht::LookupMetrics& batch) override;
 
  private:
+  dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,
+                               dht::LookupMetrics& sink,
+                               const dht::RouterOptions& options)
+      const override;
   KoordeNode* find(dht::NodeHandle handle);
   const KoordeNode* find(dht::NodeHandle handle) const;
 
@@ -128,8 +126,6 @@ class KoordeNetwork final : public dht::DhtNetwork {
 
   std::unordered_map<dht::NodeHandle, std::unique_ptr<KoordeNode>> nodes_;
   std::map<std::uint64_t, dht::NodeHandle> ring_;
-  std::vector<dht::NodeHandle> handle_vec_;
-  std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
 };
 
 }  // namespace cycloid::koorde

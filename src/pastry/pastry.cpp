@@ -65,8 +65,7 @@ bool PastryNetwork::insert(std::uint64_t id, double x, double y) {
   PastryNode* raw = node.get();
   nodes_.emplace(id, std::move(node));
   ring_.emplace(id, id);
-  handle_pos_.emplace(id, handle_vec_.size());
-  handle_vec_.push_back(id);
+  register_handle(id);
 
   compute_leaf_sets(*raw);
   compute_routing_table(*raw);
@@ -78,12 +77,7 @@ bool PastryNetwork::insert(std::uint64_t id, double x, double y) {
 void PastryNetwork::unlink(NodeHandle handle) {
   CYCLOID_EXPECTS(nodes_.contains(handle));
   ring_.erase(handle);
-  const std::size_t pos = handle_pos_.at(handle);
-  const NodeHandle moved = handle_vec_.back();
-  handle_vec_[pos] = moved;
-  handle_pos_[moved] = pos;
-  handle_vec_.pop_back();
-  handle_pos_.erase(handle);
+  unregister_handle(handle);
   nodes_.erase(handle);
 }
 
@@ -108,15 +102,6 @@ std::vector<NodeHandle> PastryNetwork::node_handles() const {
   handles.reserve(ring_.size());
   for (const auto& [id, handle] : ring_) handles.push_back(handle);
   return handles;
-}
-
-bool PastryNetwork::contains(NodeHandle node) const {
-  return nodes_.contains(node);
-}
-
-NodeHandle PastryNetwork::random_node(util::Rng& rng) const {
-  CYCLOID_EXPECTS(!handle_vec_.empty());
-  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
 }
 
 std::vector<std::string> PastryNetwork::phase_names() const {
@@ -389,7 +374,7 @@ class PastryStepPolicy final : public dht::StepPolicy {
 
 }  // namespace
 
-LookupResult PastryNetwork::route(NodeHandle from, dht::KeyHash key,
+LookupResult PastryNetwork::route_impl(NodeHandle from, dht::KeyHash key,
                                   dht::LookupMetrics& sink,
                                   const dht::RouterOptions& options) const {
   CYCLOID_EXPECTS(contains(from));

@@ -47,8 +47,7 @@ bool ViceroyNetwork::insert(double id, int level) {
   nodes_.emplace(handle, std::move(node));
   ring_.emplace(id, handle);
   levels_[level].emplace(id, handle);
-  handle_pos_.emplace(handle, handle_vec_.size());
-  handle_vec_.push_back(handle);
+  register_handle(handle);
   if (count_maintenance_) {
     // The newcomer establishes its 7 links and every node whose links now
     // resolve to it must be told (Viceroy updates incoming connections).
@@ -82,12 +81,7 @@ void ViceroyNetwork::unlink(NodeHandle handle) {
   level_it->second.erase(node.id);
   if (level_it->second.empty()) levels_.erase(level_it);
 
-  const std::size_t pos = handle_pos_.at(handle);
-  const NodeHandle moved = handle_vec_.back();
-  handle_vec_[pos] = moved;
-  handle_pos_[moved] = pos;
-  handle_vec_.pop_back();
-  handle_pos_.erase(handle);
+  unregister_handle(handle);
   nodes_.erase(it);
 }
 
@@ -116,15 +110,6 @@ std::vector<NodeHandle> ViceroyNetwork::node_handles() const {
   handles.reserve(ring_.size());
   for (const auto& [id, handle] : ring_) handles.push_back(handle);
   return handles;
-}
-
-bool ViceroyNetwork::contains(NodeHandle node) const {
-  return nodes_.contains(node);
-}
-
-NodeHandle ViceroyNetwork::random_node(util::Rng& rng) const {
-  CYCLOID_EXPECTS(!handle_vec_.empty());
-  return handle_vec_[static_cast<std::size_t>(rng.below(handle_vec_.size()))];
 }
 
 std::vector<std::string> ViceroyNetwork::phase_names() const {
@@ -314,7 +299,7 @@ class ViceroyStepPolicy final : public dht::StepPolicy {
 
 }  // namespace
 
-LookupResult ViceroyNetwork::route(NodeHandle from, dht::KeyHash key,
+LookupResult ViceroyNetwork::route_impl(NodeHandle from, dht::KeyHash key,
                                    dht::LookupMetrics& sink,
                                    const dht::RouterOptions& options) const {
   CYCLOID_EXPECTS(contains(from));

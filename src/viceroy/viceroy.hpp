@@ -68,15 +68,9 @@ class ViceroyNetwork final : public dht::DhtNetwork {
 
   // DhtNetwork interface -----------------------------------------------
   std::string name() const override { return "Viceroy"; }
-  std::size_t node_count() const override { return nodes_.size(); }
   std::vector<dht::NodeHandle> node_handles() const override;
-  bool contains(dht::NodeHandle node) const override;
-  dht::NodeHandle random_node(util::Rng& rng) const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
-  dht::LookupResult route(dht::NodeHandle from, dht::KeyHash key,
-                          dht::LookupMetrics& sink,
-                          const dht::RouterOptions& options) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
@@ -91,6 +85,10 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   void enable_maintenance_accounting(bool on) { count_maintenance_ = on; }
 
  private:
+  dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,
+                               dht::LookupMetrics& sink,
+                               const dht::RouterOptions& options)
+      const override;
   ViceroyNode* find(dht::NodeHandle handle);
   const ViceroyNode* find(dht::NodeHandle handle) const;
 
@@ -110,8 +108,6 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   std::unordered_map<dht::NodeHandle, std::unique_ptr<ViceroyNode>> nodes_;
   std::map<double, dht::NodeHandle> ring_;
   std::map<int, std::map<double, dht::NodeHandle>> levels_;
-  std::vector<dht::NodeHandle> handle_vec_;
-  std::unordered_map<dht::NodeHandle, std::size_t> handle_pos_;
 };
 
 }  // namespace cycloid::viceroy

@@ -275,5 +275,29 @@ TEST(DhtRouterTest, VisitedTrackingIncludesSourceAndEveryHop) {
   EXPECT_EQ(result.hops, 1);
 }
 
+// A step policy charging a phase slot outside phase_hops would silently
+// corrupt adjacent LookupResult memory; the contract must trap it.
+class OutOfRangePhasePolicy : public FakePolicy {
+ public:
+  HopDecision next_hop(const RouteState&) override {
+    return HopDecision::forward(2, kMaxPhases, "bad-phase");
+  }
+};
+
+TEST(DhtRouterDeathTest, CountHopRejectsPhaseOutOfRange) {
+  LookupResult result;
+  EXPECT_DEATH(result.count_hop(kMaxPhases), "Precondition");
+  // In-range phases are untouched by the contract.
+  result.count_hop(kMaxPhases - 1);
+  EXPECT_EQ(result.hops, 1);
+  EXPECT_EQ(result.phase_hops[kMaxPhases - 1], 1);
+}
+
+TEST(DhtRouterDeathTest, EngineTrapsPolicyWithOutOfRangePhase) {
+  OutOfRangePhasePolicy policy;
+  LookupMetrics sink;
+  EXPECT_DEATH(Router::run(policy, 1, sink), "Precondition");
+}
+
 }  // namespace
 }  // namespace cycloid::dht

@@ -45,6 +45,42 @@ TEST(EventQueue, RunUntilStopsAtHorizon) {
   EXPECT_EQ(fired, 2);
 }
 
+// Horizon edge case: an event an action schedules for exactly `horizon`
+// must still execute in the same run_until call — the loop re-examines the
+// top of the queue after every action, and the horizon test is inclusive.
+TEST(EventQueue, HorizonExactEventFromInsideActionRunsInSameCall) {
+  EventQueue queue;
+  std::vector<double> fired;
+  queue.schedule_at(1.0, [&] {
+    fired.push_back(queue.now());
+    queue.schedule_at(5.0, [&] { fired.push_back(queue.now()); });
+  });
+  const std::uint64_t executed = queue.run_until(5.0);
+  EXPECT_EQ(executed, 2u);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[1], 5.0);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+}
+
+// Horizon edge case: when the queue drains before the horizon, the clock
+// must land exactly on the horizon (not stick at the last event), so
+// back-to-back run_until calls tile virtual time without gaps.
+TEST(EventQueue, NowLandsExactlyOnHorizonWhenQueueDrainsEarly) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  const std::uint64_t executed = queue.run_until(7.5);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_DOUBLE_EQ(queue.now(), 7.5);
+  // An empty run over the next window still advances the clock.
+  EXPECT_EQ(queue.run_until(9.0), 0u);
+  EXPECT_DOUBLE_EQ(queue.now(), 9.0);
+}
+
 TEST(EventQueue, ActionsMayScheduleFurtherEvents) {
   EventQueue queue;
   int chain = 0;
