@@ -1,0 +1,124 @@
+// Wall-clock network-construction time — the bulk-build perf track.
+//
+// With the lookup hot path allocation-free (DESIGN.md §8), construction
+// dominates bench wall time, so this binary times three build paths for
+// every overlay at n in {2^11, 2^14, 2^17} participants:
+//
+//   eager    the pre-bulk incremental path: one protocol join() per node
+//            (each join eagerly computes the newcomer's tables and repairs
+//            its neighbourhood) followed by a 1-thread stabilize_all — the
+//            cost shape of the old build_random loops.
+//   bulk 1T  today's builders: insert under bulk mode (per-insert table
+//            work deferred), then one single-threaded stabilize pass.
+//   bulk NT  same, with the stabilize pass fanned out over the configured
+//            worker count (util::parallel_for over frozen membership).
+//
+// The final state of all three is byte-identical on fixed seeds (DESIGN.md
+// §9); only the wall-clock differs. For Viceroy and CAN the eager and bulk
+// paths do the same work (no per-insert state is discarded), so their
+// speedup hovers around 1x by design.
+//
+// Knobs:
+//   CYCLOID_BENCH_PERF_MAX_NODES  largest network size to run (default 2^17;
+//                                 CI smoke sets 2048 — builds stay cheap)
+//   CYCLOID_BENCH_THREADS         worker threads for the bulk NT runs
+//
+// Typical use: scripts/perf.sh, which writes BENCH_build.json via --json.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/overlays.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Smallest Cycloid dimension whose d * 2^d identifier space holds `nodes`
+/// (the sparse factories size every overlay's space from this).
+int dimension_for(std::uint64_t nodes) {
+  int d = 3;
+  while (static_cast<std::uint64_t>(d) * (1ULL << d) < nodes) ++d;
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cycloid;
+  bench::Report report(
+      argc, argv, "perf_build",
+      "Wall-clock network-construction time: eager joins vs bulk build at 1 "
+      "and N threads, for every overlay at n in {2^11, 2^14, 2^17}");
+  if (report.done()) return report.exit_code();
+
+  const std::uint64_t max_nodes =
+      bench::env_u64("CYCLOID_BENCH_PERF_MAX_NODES", 1ULL << 17);
+  const int threads = bench::threads();
+
+  std::vector<std::uint64_t> sizes;
+  for (const std::uint64_t n : {1ULL << 11, 1ULL << 14, 1ULL << 17}) {
+    if (n <= max_nodes) sizes.push_back(n);
+  }
+
+  for (const std::uint64_t n : sizes) {
+    const int dim = dimension_for(n);
+    util::Table table({"overlay", "nodes", "eager s", "bulk 1T s",
+                       "bulk " + std::to_string(threads) + "T s",
+                       "speedup (eager / bulk NT)"});
+    for (const exp::OverlayKind kind : exp::extended_overlays()) {
+      // Eager baseline: grow a 2-node seed network by protocol joins (the
+      // incremental path the pre-bulk builders used), then stabilize once.
+      const auto eager_start = std::chrono::steady_clock::now();
+      {
+        const auto net = exp::make_sparse_overlay(kind, dim, 2,
+                                                  bench::kBenchSeed);
+        std::uint64_t join_seed = bench::kBenchSeed + 1;
+        while (net->node_count() < n) net->join(join_seed++);
+        net->stabilize_all(1);
+      }
+      const double eager_s = seconds_since(eager_start);
+
+      const auto bulk1_start = std::chrono::steady_clock::now();
+      {
+        const auto net = exp::make_sparse_overlay(
+            kind, dim, static_cast<std::size_t>(n), bench::kBenchSeed,
+            /*threads=*/1);
+      }
+      const double bulk1_s = seconds_since(bulk1_start);
+
+      const auto bulkn_start = std::chrono::steady_clock::now();
+      {
+        const auto net = exp::make_sparse_overlay(
+            kind, dim, static_cast<std::size_t>(n), bench::kBenchSeed,
+            threads);
+      }
+      const double bulkn_s = seconds_since(bulkn_start);
+
+      table.row()
+          .add(exp::overlay_label(kind))
+          .add(n)
+          .add(eager_s, 3)
+          .add(bulk1_s, 3)
+          .add(bulkn_s, 3)
+          .add(bulkn_s > 0.0 ? eager_s / bulkn_s : 0.0, 2);
+    }
+    report.section("Build time, n = " + std::to_string(n) +
+                       " (d = " + std::to_string(dim) + ")",
+                   table);
+  }
+
+  report.note("\n(wall-clock numbers; not byte-stable run to run. All three\n"
+              " paths produce byte-identical final network state on fixed\n"
+              " seeds — see DESIGN.md §9 and tests/dht_bulk_build_test."
+              "cpp.)\n");
+  return 0;
+}

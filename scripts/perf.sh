@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
 # Wall-clock performance track: build optimized and run the lookup
-# throughput suite, writing BENCH_lookups.json next to the repo root.
+# throughput and bulk-construction suites, writing BENCH_lookups.json and
+# BENCH_build.json next to the repo root.
 #
 #   scripts/perf.sh                                    # full run (n up to 2^17)
 #   CYCLOID_BENCH_PERF_MAX_NODES=2048 scripts/perf.sh  # quick smoke
 #
-# Extra arguments are passed to the bench binary. The JSON mirrors the
-# printed tables (bench::Report --json): one section per network size, one
-# row per overlay with build time, single- and multi-thread lookups/sec,
-# and the seed-determined mean path length.
+# Extra arguments are passed to both bench binaries. The JSON mirrors the
+# printed tables (bench::Report --json): one section per network size —
+# lookups/sec per overlay for the throughput suite, and eager vs bulk
+# build times (1 and N stabilize threads) for the construction suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 build_dir="build-perf"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j "$(nproc)" --target perf_lookup_throughput
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target perf_lookup_throughput --target perf_build
 
 "$build_dir/bench/perf_lookup_throughput" --json BENCH_lookups.json "$@"
 echo "wrote BENCH_lookups.json"
+
+"$build_dir/bench/perf_build" --json BENCH_build.json "$@"
+echo "wrote BENCH_build.json"

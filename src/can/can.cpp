@@ -42,14 +42,20 @@ CanNetwork::CanNetwork(int dims) : dims_(dims) {
 
 std::unique_ptr<CanNetwork> CanNetwork::build_random(std::size_t count,
                                                      util::Rng& rng,
-                                                     int dims) {
+                                                     int dims,
+                                                     int threads) {
   auto net = std::make_unique<CanNetwork>(dims);
   CYCLOID_EXPECTS(count >= 1);
+  // Bulk brackets for uniformity with the other builders; zone splits are
+  // final state (nothing deferred), and the coalesce pass finds no buddy
+  // pairs on a fresh build.
+  net->begin_bulk();
   while (net->node_count() < count) {
     Point p{};
     for (int d = 0; d < dims; ++d) p[static_cast<std::size_t>(d)] = rng.uniform01();
     net->join_at(p);
   }
+  net->finish_bulk(threads);
   return net;
 }
 
@@ -288,14 +294,6 @@ void CanNetwork::unlink(NodeHandle handle) {
   nodes_.erase(handle);
 }
 
-std::vector<NodeHandle> CanNetwork::node_handles() const {
-  std::vector<NodeHandle> handles;
-  handles.reserve(nodes_.size());
-  for (const auto& [handle, node] : nodes_) handles.push_back(handle);
-  std::sort(handles.begin(), handles.end());
-  return handles;
-}
-
 std::vector<std::string> CanNetwork::phase_names() const { return {"greedy"}; }
 
 NodeHandle CanNetwork::owner_of(dht::KeyHash key) const {
@@ -427,12 +425,9 @@ void CanNetwork::fail_simultaneously(double p, util::Rng& rng) {
 
 void CanNetwork::stabilize_one(NodeHandle node) {
   // Zone handovers keep all state fresh; nothing to repair. Use the pass to
-  // re-attempt coalescing of fragmented zones.
+  // re-attempt coalescing of fragmented zones (node-local: coalesce only
+  // merges the node's own zone list, so the parallel pass stays race-free).
   if (CanNode* state = find(node)) coalesce(*state);
-}
-
-void CanNetwork::stabilize_all() {
-  for (const auto& [handle, node] : nodes_) coalesce(*node);
 }
 
 bool CanNetwork::check_invariants() const {

@@ -56,9 +56,14 @@ class CanNetwork final : public dht::DhtNetwork {
   explicit CanNetwork(int dims = 2);
 
   /// Bootstrap a network by `count` protocol-level joins at random points.
+  /// Joins stay eager even under bulk mode — a join's zone split IS the
+  /// final state, not derived state the stabilize pass would recompute —
+  /// so `threads` only sizes the finish_bulk coalesce pass (a no-op on a
+  /// fresh build); accepted for builder-signature uniformity.
   static std::unique_ptr<CanNetwork> build_random(std::size_t count,
                                                   util::Rng& rng,
-                                                  int dims = 2);
+                                                  int dims = 2,
+                                                  int threads = 1);
 
   int dims() const noexcept { return dims_; }
 
@@ -86,15 +91,16 @@ class CanNetwork final : public dht::DhtNetwork {
   enum Phase : std::size_t { kGreedy = 0 };
 
   // DhtNetwork interface -----------------------------------------------
+  // node_handles() uses the base registry implementation (handles are
+  // ascending join serials — sorting the registry reproduces the previous
+  // sorted-serial order).
   std::string name() const override { return "CAN"; }
-  std::vector<dht::NodeHandle> node_handles() const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
-  void stabilize_all() override;
 
  private:
   dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,

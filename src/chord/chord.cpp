@@ -23,18 +23,22 @@ ChordNetwork::ChordNetwork(int bits, int successor_list_length)
 }
 
 std::unique_ptr<ChordNetwork> ChordNetwork::build_random(
-    int bits, std::size_t count, util::Rng& rng, int successor_list_length) {
+    int bits, std::size_t count, util::Rng& rng, int successor_list_length,
+    int threads) {
   auto net = std::make_unique<ChordNetwork>(bits, successor_list_length);
   CYCLOID_EXPECTS(count >= 1 && count <= net->space_size_);
+  net->begin_bulk();
   while (net->node_count() < count) net->insert(rng.below(net->space_size_));
-  net->stabilize_all();
+  net->finish_bulk(threads);
   return net;
 }
 
-std::unique_ptr<ChordNetwork> ChordNetwork::build_complete(int bits) {
+std::unique_ptr<ChordNetwork> ChordNetwork::build_complete(int bits,
+                                                           int threads) {
   auto net = std::make_unique<ChordNetwork>(bits);
+  net->begin_bulk();
   for (std::uint64_t id = 0; id < net->space_size_; ++id) net->insert(id);
-  net->stabilize_all();
+  net->finish_bulk(threads);
   return net;
 }
 
@@ -49,8 +53,12 @@ bool ChordNetwork::insert(std::uint64_t id) {
   ring_.emplace(id, id);
   register_handle(id);
 
-  compute_state(*raw);
-  refresh_ring_around(id);
+  // Bulk construction defers derived state to finish_bulk's stabilize pass
+  // (which recomputes it from final membership anyway).
+  if (!bulk_building()) {
+    compute_state(*raw);
+    refresh_ring_around(id);
+  }
   return true;
 }
 
@@ -75,13 +83,6 @@ const ChordNode& ChordNetwork::node_state(NodeHandle handle) const {
   const ChordNode* node = find(handle);
   CYCLOID_EXPECTS(node != nullptr);
   return *node;
-}
-
-std::vector<NodeHandle> ChordNetwork::node_handles() const {
-  std::vector<NodeHandle> handles;
-  handles.reserve(ring_.size());
-  for (const auto& [id, handle] : ring_) handles.push_back(handle);
-  return handles;
 }
 
 std::vector<std::string> ChordNetwork::phase_names() const {
@@ -304,10 +305,6 @@ void ChordNetwork::stabilize_one(NodeHandle node) {
   ChordNode* state = find(node);
   if (state == nullptr) return;
   compute_state(*state);
-}
-
-void ChordNetwork::stabilize_all() {
-  for (const auto& [handle, node] : nodes_) compute_state(*node);
 }
 
 }  // namespace cycloid::chord

@@ -36,15 +36,19 @@ class ChordNetwork final : public dht::DhtNetwork {
   /// An empty network over a 2^bits identifier space.
   explicit ChordNetwork(int bits, int successor_list_length = 3);
 
-  /// A network of `count` nodes at distinct uniform-random identifiers.
+  /// A network of `count` nodes at distinct uniform-random identifiers
+  /// (bulk mode: membership first, then one stabilize pass over `threads`
+  /// workers — byte-identical to the incremental build).
   static std::unique_ptr<ChordNetwork> build_random(int bits,
                                                     std::size_t count,
                                                     util::Rng& rng,
-                                                    int successor_list_length = 3);
+                                                    int successor_list_length = 3,
+                                                    int threads = 1);
 
   /// The complete network: every identifier populated (used for the paper's
   /// dense path-length experiments).
-  static std::unique_ptr<ChordNetwork> build_complete(int bits);
+  static std::unique_ptr<ChordNetwork> build_complete(int bits,
+                                                      int threads = 1);
 
   int bits() const noexcept { return bits_; }
   std::uint64_t space_size() const noexcept { return space_size_; }
@@ -58,8 +62,9 @@ class ChordNetwork final : public dht::DhtNetwork {
   enum Phase : std::size_t { kFinger = 0, kSuccessor = 1 };
 
   // DhtNetwork interface -----------------------------------------------
+  // node_handles() uses the base registry implementation (handle == id, so
+  // ascending handle order is the ring order).
   std::string name() const override { return "Chord"; }
-  std::vector<dht::NodeHandle> node_handles() const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
@@ -67,7 +72,6 @@ class ChordNetwork final : public dht::DhtNetwork {
   void fail_simultaneously(double p, util::Rng& rng) override;
   void fail_ungraceful(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
-  void stabilize_all() override;
 
  private:
   dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,

@@ -24,28 +24,35 @@ CycloidNetwork::CycloidNetwork(int dimension, int leaf_width,
 }
 
 std::unique_ptr<CycloidNetwork> CycloidNetwork::build_complete(
-    int dimension, int leaf_width, NeighborSelection selection) {
+    int dimension, int leaf_width, NeighborSelection selection, int threads) {
   auto net = std::make_unique<CycloidNetwork>(dimension, leaf_width, selection);
   const CccSpace& space = net->space_;
+  net->begin_bulk();
   for (std::uint64_t pos = 0; pos < space.size(); ++pos) {
     const bool inserted = net->insert(space.from_ring_position(pos));
     CYCLOID_ASSERT(inserted);
   }
-  net->stabilize_all();
+  net->finish_bulk(threads);
   return net;
 }
 
 std::unique_ptr<CycloidNetwork> CycloidNetwork::build_random(
     int dimension, std::size_t count, util::Rng& rng, int leaf_width,
-    NeighborSelection selection) {
+    NeighborSelection selection, int threads) {
   auto net = std::make_unique<CycloidNetwork>(dimension, leaf_width, selection);
   const CccSpace& space = net->space_;
   CYCLOID_EXPECTS(count >= 1 && count <= space.size());
+  net->begin_bulk();
   while (net->node_count() < count) {
+    // One RNG draw per iteration whether or not the position is taken —
+    // the exact draw sequence of the incremental builder, so placements
+    // stay byte-identical. Duplicates cost one membership probe.
     const std::uint64_t pos = rng.below(space.size());
-    net->insert(space.from_ring_position(pos));
+    const CccId id = space.from_ring_position(pos);
+    if (net->contains(handle_of(id))) continue;
+    net->insert(id);
   }
-  net->stabilize_all();
+  net->finish_bulk(threads);
   return net;
 }
 
@@ -70,8 +77,13 @@ bool CycloidNetwork::insert(const CccId& id) {
   cycles_[id.cubical].emplace(id.cyclic, handle);
   register_handle(handle);
 
-  compute_routing_table(*raw);
-  refresh_leafsets_around(id.cubical);
+  // Bulk construction defers all derived state to the single stabilize
+  // pass in finish_bulk — the eager per-insert computation below would be
+  // recomputed from final membership there anyway.
+  if (!bulk_building()) {
+    compute_routing_table(*raw);
+    refresh_leafsets_around(id.cubical);
+  }
   return true;
 }
 
@@ -109,13 +121,6 @@ const CycloidNode& CycloidNetwork::node_state(NodeHandle handle) const {
 
 std::string CycloidNetwork::name() const {
   return "Cycloid-" + std::to_string(3 + 4 * leaf_width_);
-}
-
-std::vector<NodeHandle> CycloidNetwork::node_handles() const {
-  std::vector<NodeHandle> handles;
-  handles.reserve(ring_.size());
-  for (const auto& [pos, handle] : ring_) handles.push_back(handle);
-  return handles;
 }
 
 std::vector<std::string> CycloidNetwork::phase_names() const {
@@ -595,13 +600,6 @@ void CycloidNetwork::stabilize_one(NodeHandle node) {
   if (state == nullptr) return;  // departed before its stabilization timer
   compute_routing_table(*state);
   compute_leaf_sets(*state);
-}
-
-void CycloidNetwork::stabilize_all() {
-  for (const auto& [handle, node] : nodes_) {
-    compute_routing_table(*node);
-    compute_leaf_sets(*node);
-  }
 }
 
 double CycloidNetwork::link_latency(NodeHandle a, NodeHandle b) const {

@@ -43,15 +43,20 @@ class CycloidNetwork final : public dht::DhtNetwork {
   CycloidNetwork(int dimension, int leaf_width = 1,
                  NeighborSelection selection = NeighborSelection::kClosestSuffix);
 
-  /// The complete network: all d * 2^d identifiers populated.
+  /// The complete network: all d * 2^d identifiers populated. Built in
+  /// bulk mode: membership first, then one stabilize pass over `threads`
+  /// workers (byte-identical to the incremental build at any count).
   static std::unique_ptr<CycloidNetwork> build_complete(
       int dimension, int leaf_width = 1,
-      NeighborSelection selection = NeighborSelection::kClosestSuffix);
+      NeighborSelection selection = NeighborSelection::kClosestSuffix,
+      int threads = 1);
 
-  /// A network of `count` nodes at distinct uniform-random identifiers.
+  /// A network of `count` nodes at distinct uniform-random identifiers
+  /// (bulk mode; the RNG draw sequence matches the incremental builder).
   static std::unique_ptr<CycloidNetwork> build_random(
       int dimension, std::size_t count, util::Rng& rng, int leaf_width = 1,
-      NeighborSelection selection = NeighborSelection::kClosestSuffix);
+      NeighborSelection selection = NeighborSelection::kClosestSuffix,
+      int threads = 1);
 
   const CccSpace& space() const noexcept { return space_; }
   int leaf_width() const noexcept { return leaf_width_; }
@@ -134,8 +139,10 @@ class CycloidNetwork final : public dht::DhtNetwork {
   }
 
   // DhtNetwork interface -----------------------------------------------
+  // node_handles() uses the base registry implementation: a handle packs
+  // (cubical << 8) | cyclic and cyclic < d <= 32, so ascending handle order
+  // is exactly ascending (cubical, cyclic) — the ring order.
   std::string name() const override;
-  std::vector<dht::NodeHandle> node_handles() const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
@@ -143,7 +150,6 @@ class CycloidNetwork final : public dht::DhtNetwork {
   void fail_simultaneously(double p, util::Rng& rng) override;
   void fail_ungraceful(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
-  void stabilize_all() override;
 
   /// Routing-phase slots in LookupResult::phase_hops.
   enum Phase : std::size_t { kAscend = 0, kDescend = 1, kTraverse = 2 };

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -137,10 +138,13 @@ class LookupMetrics {
 /// (`query_loads()`, `maintenance_updates()`, Cycloid's
 /// `guard_fallbacks()`): a registry the sequential convenience wrapper
 /// absorbs sinks into, plus the maintenance-overhead counter written by the
-/// (non-const) membership and stabilization paths.
+/// (non-const) membership and stabilization paths. The maintenance counter
+/// is atomic because the parallel stabilize pass (DhtNetwork::stabilize_all
+/// with threads > 1) increments it from every worker; relaxed ordering
+/// suffices — the total is a sum, so it is identical at any thread count.
 struct MetricsRegistry {
   LookupMetrics lookups;
-  std::uint64_t maintenance_updates = 0;
+  std::atomic<std::uint64_t> maintenance_updates{0};
 };
 
 }  // namespace cycloid::dht

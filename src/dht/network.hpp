@@ -22,6 +22,7 @@
 // charging, tracing, and the universal hop cap.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -31,6 +32,7 @@
 #include "dht/router.hpp"
 #include "dht/types.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace cycloid::dht {
@@ -91,8 +93,16 @@ class DhtNetwork {
     return handle_pos_;
   }
 
-  /// Handles of all live nodes (ascending identifier order).
-  virtual std::vector<NodeHandle> node_handles() const = 0;
+  /// Handles of all live nodes (ascending identifier order). The base
+  /// implementation sorts a copy of the dense handle registry, which is the
+  /// identifier order for every overlay whose handles compare like its
+  /// identifiers — all of them except Viceroy (handles there are join
+  /// serials; it overrides to walk its real-valued ring).
+  virtual std::vector<NodeHandle> node_handles() const {
+    std::vector<NodeHandle> handles(handle_vec_);
+    std::sort(handles.begin(), handles.end());
+    return handles;
+  }
 
   /// Names of the routing phases reported in LookupResult::phase_hops.
   virtual std::vector<std::string> phase_names() const = 0;
@@ -167,8 +177,47 @@ class DhtNetwork {
   /// "system stabilization" the paper delegates repairs to).
   virtual void stabilize_one(NodeHandle node) = 0;
 
-  /// Refresh every node's routing state.
-  virtual void stabilize_all() = 0;
+  /// Refresh every node's routing state, fanning the per-node recomputation
+  /// out over `threads` workers. Safe to parallelize because stabilize_one
+  /// only reads the membership indexes (frozen for the duration of the
+  /// pass) and other nodes' immutable identity fields, and writes only its
+  /// own node's state; maintenance accounting is atomic. The resulting
+  /// network state is identical at any thread count (DESIGN.md §9).
+  void stabilize_all(int threads = 1) {
+    util::parallel_for(node_count(), threads, [this](std::size_t slot) {
+      stabilize_one(handle_at(slot));
+    });
+  }
+
+  // Bulk construction ----------------------------------------------------
+  // Builders populating a network from scratch bracket their insert loop
+  // with begin_bulk()/finish_bulk(threads). Under bulk mode an overlay's
+  // insert registers membership only — the per-insert routing-table
+  // computation and neighbourhood refreshes (whose results the final
+  // stabilize pass would discard anyway) are skipped — and finish_bulk
+  // runs one stabilize_all(threads) pass over the final membership. The
+  // final state is byte-identical to the incremental build on the same
+  // insertion sequence (DESIGN.md §9). Incremental join()/leave() keep the
+  // eager path: bulk mode is a builder-only protocol, never active during
+  // churn.
+
+  /// Enter bulk-construction mode. Must not already be in it.
+  void begin_bulk() {
+    CYCLOID_EXPECTS(!bulk_building_);
+    bulk_building_ = true;
+  }
+
+  /// Leave bulk-construction mode and stabilize every node in one pass
+  /// over `threads` workers. Traps when begin_bulk was not called.
+  void finish_bulk(int threads = 1) {
+    CYCLOID_EXPECTS(bulk_building_);
+    bulk_building_ = false;
+    stabilize_all(threads);
+  }
+
+  /// True between begin_bulk() and finish_bulk() — overlays consult this in
+  /// insert to defer per-insert table work.
+  bool bulk_building() const noexcept { return bulk_building_; }
 
   /// Query-load accounting (paper Fig. 10): number of lookup messages each
   /// node received as an intermediate or final destination. Thin adapters
@@ -184,9 +233,11 @@ class DhtNetwork {
   /// (leaf-set/successor repairs on join/leave, stabilization refreshes).
   /// One update ~ one maintenance message exchange with that node.
   std::uint64_t maintenance_updates() const {
-    return metrics_.maintenance_updates;
+    return metrics_.maintenance_updates.load(std::memory_order_relaxed);
   }
-  void reset_maintenance() { metrics_.maintenance_updates = 0; }
+  void reset_maintenance() {
+    metrics_.maintenance_updates.store(0, std::memory_order_relaxed);
+  }
 
   /// The network-resident registry (sequential-wrapper accounting).
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -221,9 +272,11 @@ class DhtNetwork {
   }
 
   /// Mutation-plane accounting: `updates` per-node state changes performed
-  /// by repair/stabilization machinery.
+  /// by repair/stabilization machinery. Callable from the parallel
+  /// stabilize workers (relaxed atomic add — the total is order-free).
   void note_maintenance(std::uint64_t updates = 1) {
-    metrics_.maintenance_updates += updates;
+    metrics_.maintenance_updates.fetch_add(updates,
+                                           std::memory_order_relaxed);
   }
 
   MetricsRegistry metrics_;
@@ -233,6 +286,8 @@ class DhtNetwork {
   /// stable slot identity behind slot_of/handle_at.
   std::vector<NodeHandle> handle_vec_;
   std::unordered_map<NodeHandle, std::size_t> handle_pos_;
+  /// Between begin_bulk() and finish_bulk(): inserts defer table work.
+  bool bulk_building_ = false;
 };
 
 }  // namespace cycloid::dht

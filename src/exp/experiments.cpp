@@ -52,7 +52,10 @@ std::vector<PathLengthRow> run_dense_path_lengths(
         static_cast<double>(n) * static_cast<double>(n) / 4.0 * lookup_scale);
     const std::uint64_t s = cell_seed(seed, static_cast<std::uint64_t>(d),
                                       static_cast<std::uint64_t>(kind));
-    auto net = make_dense_overlay(kind, d, s);
+    // Cells run one at a time here, so the workers can go to the build's
+    // stabilize pass as well as the lookup batch (state is thread-count-
+    // independent; DESIGN.md §9).
+    auto net = make_dense_overlay(kind, d, s, threads);
     const WorkloadStats stats = run_lookup_batch(
         *net, std::max<std::uint64_t>(lookups, 1), s + 1, threads);
 
@@ -104,7 +107,7 @@ std::vector<QueryLoadRow> run_query_load(const std::vector<OverlayKind>& kinds,
     for (const OverlayKind kind : kinds) {
       const std::uint64_t s = cell_seed(seed, static_cast<std::uint64_t>(d),
                                         static_cast<std::uint64_t>(kind) + 16);
-      auto net = make_dense_overlay(kind, d, s);
+      auto net = make_dense_overlay(kind, d, s, threads);
       const WorkloadStats stats =
           run_lookup_batch(*net, lookups, s + 1, threads,
                            /*check_owner=*/false);

@@ -56,7 +56,8 @@ std::string overlay_label(OverlayKind kind) {
 
 std::unique_ptr<dht::DhtNetwork> make_dense_overlay(OverlayKind kind,
                                                     int cycloid_dim,
-                                                    std::uint64_t seed) {
+                                                    std::uint64_t seed,
+                                                    int threads) {
   const std::uint64_t n =
       static_cast<std::uint64_t>(cycloid_dim) * (1ULL << cycloid_dim);
   util::Rng rng(seed);
@@ -65,23 +66,28 @@ std::unique_ptr<dht::DhtNetwork> make_dense_overlay(OverlayKind kind,
 
   switch (kind) {
     case OverlayKind::kCycloid7:
-      return ccc::CycloidNetwork::build_complete(cycloid_dim, 1);
+      return ccc::CycloidNetwork::build_complete(
+          cycloid_dim, 1, ccc::NeighborSelection::kClosestSuffix, threads);
     case OverlayKind::kCycloid11:
-      return ccc::CycloidNetwork::build_complete(cycloid_dim, 2);
+      return ccc::CycloidNetwork::build_complete(
+          cycloid_dim, 2, ccc::NeighborSelection::kClosestSuffix, threads);
     case OverlayKind::kViceroy:
-      return viceroy::ViceroyNetwork::build_random(n, rng);
+      return viceroy::ViceroyNetwork::build_random(n, rng, threads);
     case OverlayKind::kChord:
-      return ring_complete ? chord::ChordNetwork::build_complete(bits)
-                           : chord::ChordNetwork::build_random(bits, n, rng);
+      return ring_complete
+                 ? chord::ChordNetwork::build_complete(bits, threads)
+                 : chord::ChordNetwork::build_random(
+                       bits, n, rng, /*successor_list_length=*/3, threads);
     case OverlayKind::kKoorde:
-      return ring_complete ? koorde::KoordeNetwork::build_complete(bits)
-                           : koorde::KoordeNetwork::build_random(bits, n, rng);
+      return ring_complete
+                 ? koorde::KoordeNetwork::build_complete(bits, threads)
+                 : koorde::KoordeNetwork::build_random(bits, n, rng, threads);
     case OverlayKind::kPastry:
       // Binary digits (b = 1) so any ring width divides evenly.
-      return pastry::PastryNetwork::build_random(bits, n, rng,
-                                                 /*bits_per_digit=*/1);
+      return pastry::PastryNetwork::build_random(
+          bits, n, rng, /*bits_per_digit=*/1, threads);
     case OverlayKind::kCan:
-      return can::CanNetwork::build_random(n, rng, /*dims=*/2);
+      return can::CanNetwork::build_random(n, rng, /*dims=*/2, threads);
   }
   CYCLOID_ASSERT(false);
   return nullptr;
@@ -90,7 +96,8 @@ std::unique_ptr<dht::DhtNetwork> make_dense_overlay(OverlayKind kind,
 std::unique_ptr<dht::DhtNetwork> make_sparse_overlay(OverlayKind kind,
                                                      int cycloid_dim,
                                                      std::size_t count,
-                                                     std::uint64_t seed) {
+                                                     std::uint64_t seed,
+                                                     int threads) {
   const std::uint64_t space =
       static_cast<std::uint64_t>(cycloid_dim) * (1ULL << cycloid_dim);
   util::Rng rng(seed);
@@ -98,20 +105,25 @@ std::unique_ptr<dht::DhtNetwork> make_sparse_overlay(OverlayKind kind,
 
   switch (kind) {
     case OverlayKind::kCycloid7:
-      return ccc::CycloidNetwork::build_random(cycloid_dim, count, rng, 1);
+      return ccc::CycloidNetwork::build_random(
+          cycloid_dim, count, rng, 1, ccc::NeighborSelection::kClosestSuffix,
+          threads);
     case OverlayKind::kCycloid11:
-      return ccc::CycloidNetwork::build_random(cycloid_dim, count, rng, 2);
+      return ccc::CycloidNetwork::build_random(
+          cycloid_dim, count, rng, 2, ccc::NeighborSelection::kClosestSuffix,
+          threads);
     case OverlayKind::kViceroy:
-      return viceroy::ViceroyNetwork::build_random(count, rng);
+      return viceroy::ViceroyNetwork::build_random(count, rng, threads);
     case OverlayKind::kChord:
-      return chord::ChordNetwork::build_random(bits, count, rng);
+      return chord::ChordNetwork::build_random(
+          bits, count, rng, /*successor_list_length=*/3, threads);
     case OverlayKind::kKoorde:
-      return koorde::KoordeNetwork::build_random(bits, count, rng);
+      return koorde::KoordeNetwork::build_random(bits, count, rng, threads);
     case OverlayKind::kPastry:
-      return pastry::PastryNetwork::build_random(bits, count, rng,
-                                                 /*bits_per_digit=*/1);
+      return pastry::PastryNetwork::build_random(
+          bits, count, rng, /*bits_per_digit=*/1, threads);
     case OverlayKind::kCan:
-      return can::CanNetwork::build_random(count, rng, /*dims=*/2);
+      return can::CanNetwork::build_random(count, rng, /*dims=*/2, threads);
   }
   CYCLOID_ASSERT(false);
   return nullptr;

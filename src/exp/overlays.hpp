@@ -43,9 +43,15 @@ std::string overlay_label(OverlayKind kind);
 /// nodes); the others get the same number of participants — completely
 /// populating a 2^bits ring when d * 2^d is a power of two, else random
 /// placement in the smallest sufficient ring.
+///
+/// Both factories build in bulk mode: membership is registered first, then
+/// one stabilize pass computes every routing table, fanned out over
+/// `threads` workers. The resulting network is byte-identical at any
+/// thread count (DESIGN.md §9).
 std::unique_ptr<dht::DhtNetwork> make_dense_overlay(OverlayKind kind,
                                                     int cycloid_dim,
-                                                    std::uint64_t seed);
+                                                    std::uint64_t seed,
+                                                    int threads = 1);
 
 /// Sparse network: `count` participants at random identifiers inside the
 /// identifier space sized by cycloid_dim (d * 2^d positions for Cycloid,
@@ -53,6 +59,7 @@ std::unique_ptr<dht::DhtNetwork> make_dense_overlay(OverlayKind kind,
 std::unique_ptr<dht::DhtNetwork> make_sparse_overlay(OverlayKind kind,
                                                      int cycloid_dim,
                                                      std::size_t count,
-                                                     std::uint64_t seed);
+                                                     std::uint64_t seed,
+                                                     int threads = 1);
 
 }  // namespace cycloid::exp

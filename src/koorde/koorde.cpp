@@ -30,18 +30,22 @@ KoordeNetwork::KoordeNetwork(int bits, int successor_list_length,
 
 std::unique_ptr<KoordeNetwork> KoordeNetwork::build_random(int bits,
                                                            std::size_t count,
-                                                           util::Rng& rng) {
+                                                           util::Rng& rng,
+                                                           int threads) {
   auto net = std::make_unique<KoordeNetwork>(bits);
   CYCLOID_EXPECTS(count >= 1 && count <= net->space_size_);
+  net->begin_bulk();
   while (net->node_count() < count) net->insert(rng.below(net->space_size_));
-  net->stabilize_all();
+  net->finish_bulk(threads);
   return net;
 }
 
-std::unique_ptr<KoordeNetwork> KoordeNetwork::build_complete(int bits) {
+std::unique_ptr<KoordeNetwork> KoordeNetwork::build_complete(int bits,
+                                                             int threads) {
   auto net = std::make_unique<KoordeNetwork>(bits);
+  net->begin_bulk();
   for (std::uint64_t id = 0; id < net->space_size_; ++id) net->insert(id);
-  net->stabilize_all();
+  net->finish_bulk(threads);
   return net;
 }
 
@@ -56,8 +60,12 @@ bool KoordeNetwork::insert(std::uint64_t id) {
   ring_.emplace(id, id);
   register_handle(id);
 
-  compute_state(*raw);
-  refresh_ring_around(id);
+  // Bulk construction defers derived state to finish_bulk's stabilize pass
+  // (which recomputes it from final membership anyway).
+  if (!bulk_building()) {
+    compute_state(*raw);
+    refresh_ring_around(id);
+  }
   return true;
 }
 
@@ -82,13 +90,6 @@ const KoordeNode& KoordeNetwork::node_state(NodeHandle handle) const {
   const KoordeNode* node = find(handle);
   CYCLOID_EXPECTS(node != nullptr);
   return *node;
-}
-
-std::vector<NodeHandle> KoordeNetwork::node_handles() const {
-  std::vector<NodeHandle> handles;
-  handles.reserve(ring_.size());
-  for (const auto& [id, handle] : ring_) handles.push_back(handle);
-  return handles;
 }
 
 std::vector<std::string> KoordeNetwork::phase_names() const {
@@ -365,10 +366,6 @@ void KoordeNetwork::stabilize_one(NodeHandle node) {
   KoordeNode* state = find(node);
   if (state == nullptr) return;
   compute_state(*state);
-}
-
-void KoordeNetwork::stabilize_all() {
-  for (const auto& [handle, node] : nodes_) compute_state(*node);
 }
 
 }  // namespace cycloid::koorde

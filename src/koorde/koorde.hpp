@@ -55,10 +55,14 @@ class KoordeNetwork final : public dht::DhtNetwork {
 
   int shift_bits() const noexcept { return shift_bits_; }
 
+  /// Bulk mode: membership first, then one stabilize pass over `threads`
+  /// workers — byte-identical to the incremental build.
   static std::unique_ptr<KoordeNetwork> build_random(int bits,
                                                      std::size_t count,
-                                                     util::Rng& rng);
-  static std::unique_ptr<KoordeNetwork> build_complete(int bits);
+                                                     util::Rng& rng,
+                                                     int threads = 1);
+  static std::unique_ptr<KoordeNetwork> build_complete(int bits,
+                                                       int threads = 1);
 
   int bits() const noexcept { return bits_; }
   std::uint64_t space_size() const noexcept { return space_size_; }
@@ -86,7 +90,6 @@ class KoordeNetwork final : public dht::DhtNetwork {
 
   // DhtNetwork interface -----------------------------------------------
   std::string name() const override { return "Koorde"; }
-  std::vector<dht::NodeHandle> node_handles() const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
@@ -94,7 +97,6 @@ class KoordeNetwork final : public dht::DhtNetwork {
   void fail_simultaneously(double p, util::Rng& rng) override;
   void fail_ungraceful(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
-  void stabilize_all() override;
 
  protected:
   /// Apply the backup promotions a batch of const lookups learned: the

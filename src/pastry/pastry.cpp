@@ -30,13 +30,15 @@ PastryNetwork::PastryNetwork(int bits, int bits_per_digit, int leaf_set_size,
 }
 
 std::unique_ptr<PastryNetwork> PastryNetwork::build_random(
-    int bits, std::size_t count, util::Rng& rng, int bits_per_digit) {
+    int bits, std::size_t count, util::Rng& rng, int bits_per_digit,
+    int threads) {
   auto net = std::make_unique<PastryNetwork>(bits, bits_per_digit);
   CYCLOID_EXPECTS(count >= 1 && count <= net->space_size_);
+  net->begin_bulk();
   while (net->node_count() < count) {
     net->insert(rng.below(net->space_size_), rng.uniform01(), rng.uniform01());
   }
-  net->stabilize_all();
+  net->finish_bulk(threads);
   return net;
 }
 
@@ -67,10 +69,15 @@ bool PastryNetwork::insert(std::uint64_t id, double x, double y) {
   ring_.emplace(id, id);
   register_handle(id);
 
-  compute_leaf_sets(*raw);
-  compute_routing_table(*raw);
-  compute_neighborhood(*raw);
-  refresh_leafsets_around(id);
+  // Bulk construction defers derived state to finish_bulk's stabilize pass
+  // (which recomputes it from final membership anyway) — for Pastry this
+  // skips an O(n) neighbourhood scan per insert, the dominant build cost.
+  if (!bulk_building()) {
+    compute_leaf_sets(*raw);
+    compute_routing_table(*raw);
+    compute_neighborhood(*raw);
+    refresh_leafsets_around(id);
+  }
   return true;
 }
 
@@ -95,13 +102,6 @@ const PastryNode& PastryNetwork::node_state(NodeHandle handle) const {
   const PastryNode* node = find(handle);
   CYCLOID_EXPECTS(node != nullptr);
   return *node;
-}
-
-std::vector<NodeHandle> PastryNetwork::node_handles() const {
-  std::vector<NodeHandle> handles;
-  handles.reserve(ring_.size());
-  for (const auto& [id, handle] : ring_) handles.push_back(handle);
-  return handles;
 }
 
 std::vector<std::string> PastryNetwork::phase_names() const {
@@ -428,14 +428,6 @@ void PastryNetwork::stabilize_one(NodeHandle node) {
   compute_leaf_sets(*state);
   compute_routing_table(*state);
   compute_neighborhood(*state);
-}
-
-void PastryNetwork::stabilize_all() {
-  for (const auto& [handle, node] : nodes_) {
-    compute_leaf_sets(*node);
-    compute_routing_table(*node);
-    compute_neighborhood(*node);
-  }
 }
 
 }  // namespace cycloid::pastry

@@ -50,10 +50,13 @@ class PastryNetwork final : public dht::DhtNetwork {
   PastryNetwork(int bits, int bits_per_digit = 2, int leaf_set_size = 8,
                 int neighborhood_size = 8);
 
+  /// Bulk mode: membership first, then one stabilize pass over `threads`
+  /// workers — byte-identical to the incremental build.
   static std::unique_ptr<PastryNetwork> build_random(int bits,
                                                      std::size_t count,
                                                      util::Rng& rng,
-                                                     int bits_per_digit = 2);
+                                                     int bits_per_digit = 2,
+                                                     int threads = 1);
 
   int bits() const noexcept { return bits_; }
   std::uint64_t space_size() const noexcept { return space_size_; }
@@ -74,8 +77,9 @@ class PastryNetwork final : public dht::DhtNetwork {
   enum Phase : std::size_t { kPrefix = 0, kLeaf = 1 };
 
   // DhtNetwork interface -----------------------------------------------
+  // node_handles() uses the base registry implementation (handle == id, so
+  // ascending handle order is the ring order).
   std::string name() const override { return "Pastry"; }
-  std::vector<dht::NodeHandle> node_handles() const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
@@ -83,7 +87,6 @@ class PastryNetwork final : public dht::DhtNetwork {
   void fail_simultaneously(double p, util::Rng& rng) override;
   void fail_ungraceful(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
-  void stabilize_all() override;
 
  private:
   dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,

@@ -15,12 +15,15 @@ int default_thread_count() noexcept {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void parallel_for(std::size_t count, int threads,
-                  const std::function<void(std::size_t)>& fn) {
-  CYCLOID_EXPECTS(fn != nullptr);
+namespace detail {
+
+void parallel_for_impl(std::size_t count, int threads,
+                       void (*invoke)(void* ctx, std::size_t index),
+                       void* ctx) {
+  CYCLOID_EXPECTS(invoke != nullptr);
   if (count == 0) return;
   if (threads <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) invoke(ctx, i);
     return;
   }
 
@@ -35,7 +38,7 @@ void parallel_for(std::size_t count, int threads,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
-        fn(i);
+        invoke(ctx, i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -49,6 +52,19 @@ void parallel_for(std::size_t count, int threads,
   for (std::thread& t : pool) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  CYCLOID_EXPECTS(fn != nullptr);
+  detail::parallel_for_impl(
+      count, threads,
+      [](void* ctx, std::size_t index) {
+        (*static_cast<const std::function<void(std::size_t)>*>(ctx))(index);
+      },
+      const_cast<std::function<void(std::size_t)>*>(&fn));
 }
 
 }  // namespace cycloid::util

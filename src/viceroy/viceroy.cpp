@@ -22,16 +22,21 @@ double cw(double a, double b) noexcept {
 }  // namespace
 
 std::unique_ptr<ViceroyNetwork> ViceroyNetwork::build_random(std::size_t count,
-                                                             util::Rng& rng) {
+                                                             util::Rng& rng,
+                                                             int threads) {
   auto net = std::make_unique<ViceroyNetwork>();
   CYCLOID_EXPECTS(count >= 1);
   const int max_level = std::max(1, util::ceil_log2(count));
+  // Bulk brackets for uniformity with the other builders; Viceroy has no
+  // per-insert table work to defer, and the stabilize pass is a no-op.
+  net->begin_bulk();
   while (net->node_count() < count) {
     const double id = rng.uniform01();
     const int level = 1 + static_cast<int>(rng.below(
                               static_cast<std::uint64_t>(max_level)));
     net->insert(id, level);
   }
+  net->finish_bulk(threads);
   return net;
 }
 
@@ -342,7 +347,5 @@ void ViceroyNetwork::fail_simultaneously(double p, util::Rng& rng) {
 void ViceroyNetwork::stabilize_one(NodeHandle) {
   // Links are maintained eagerly on every join/leave; nothing to refresh.
 }
-
-void ViceroyNetwork::stabilize_all() {}
 
 }  // namespace cycloid::viceroy

@@ -51,9 +51,12 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   ViceroyNetwork() = default;
 
   /// A network of `count` nodes with uniform-random identifiers and levels
-  /// drawn from [1, log2(count)].
+  /// drawn from [1, log2(count)]. `threads` sizes the finish_bulk stabilize
+  /// pass, a no-op here (links resolve from live membership at use time) —
+  /// accepted for builder-signature uniformity across the overlays.
   static std::unique_ptr<ViceroyNetwork> build_random(std::size_t count,
-                                                      util::Rng& rng);
+                                                      util::Rng& rng,
+                                                      int threads = 1);
 
   /// Direct insertion (false when the identifier collides).
   bool insert(double id, int level);
@@ -67,6 +70,9 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   enum Phase : std::size_t { kAscend = 0, kDescend = 1, kRing = 2 };
 
   // DhtNetwork interface -----------------------------------------------
+  // node_handles() keeps its override: handles are join serials, so the
+  // base registry sort would NOT give ascending identifier order — the
+  // real-valued ring map does.
   std::string name() const override { return "Viceroy"; }
   std::vector<dht::NodeHandle> node_handles() const override;
   std::vector<std::string> phase_names() const override;
@@ -75,7 +81,6 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   void leave(dht::NodeHandle node) override;
   void fail_simultaneously(double p, util::Rng& rng) override;
   void stabilize_one(dht::NodeHandle node) override;
-  void stabilize_all() override;
 
   /// Viceroy repairs both outgoing AND incoming connections on every join
   /// and leave (that is why it never times out — and why the paper calls

@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "exp/experiments.hpp"
@@ -51,6 +55,49 @@ TEST(ParallelFor, FirstExceptionPropagates) {
                      if (i == 37) throw std::runtime_error("boom");
                    }),
       std::runtime_error);
+}
+
+TEST(ParallelFor, TemplateOverloadBindsMoveOnlyCallables) {
+  // std::function requires a copyable target, so binding a move-only
+  // functor proves the call dispatches through the templated overload
+  // (no type erasure) rather than converting to std::function.
+  std::vector<std::atomic<int>> counts(64);
+  for (auto& c : counts) c = 0;
+  auto weight = std::make_unique<int>(1);
+  auto fn = [&counts, w = std::move(weight)](std::size_t i) {
+    counts[i] += *w;
+  };
+  static_assert(!std::is_copy_constructible_v<decltype(fn)>);
+  parallel_for(counts.size(), 4, fn);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionRethrownOnlyAfterAllWorkersJoin) {
+  // The contract: workers keep draining indices after a throw — every
+  // index still runs exactly once — and the first captured exception is
+  // rethrown on the caller's thread once every worker has joined.
+  std::vector<std::atomic<int>> counts(193);
+  for (auto& c : counts) c = 0;
+  try {
+    parallel_for(counts.size(), 8, [&](std::size_t i) {
+      ++counts[i];
+      if (i % 37 == 3) throw std::runtime_error("idx=" + std::to_string(i));
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("idx=", 0), 0u) << e.what();
+  }
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, StdFunctionOverloadPropagatesExceptions) {
+  // Callers already holding a std::function take the non-template
+  // overload; the rethrow contract is identical.
+  const std::function<void(std::size_t)> fn = [](std::size_t i) {
+    if (i == 7) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(parallel_for(64, 4, fn), std::runtime_error);
+  EXPECT_THROW(parallel_for(64, 1, fn), std::runtime_error);
 }
 
 TEST(ParallelFor, DefaultThreadCountIsPositive) {
