@@ -55,7 +55,15 @@ Report::~Report() {
 void Report::section(const std::string& title, const util::Table& table) {
   util::print_banner(std::cout, title);
   std::cout << table;
+  record(title, table);
+}
 
+void Report::json_section(const std::string& title, const util::Table& table) {
+  if (json_path_.empty()) return;
+  record(title, table);
+}
+
+void Report::record(const std::string& title, const util::Table& table) {
   Section section;
   section.title = title;
   for (std::size_t c = 0; c < table.column_count(); ++c) {

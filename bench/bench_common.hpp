@@ -80,6 +80,11 @@ class Report {
   /// Print the banner + table to stdout and record them for the JSON dump.
   void section(const std::string& title, const util::Table& table);
 
+  /// Record a section for the JSON dump only — nothing is printed, so the
+  /// text output stays byte-identical while the JSON gains extra data
+  /// (e.g. fig12's maintenance breakdown). No-op without `--json`.
+  void json_section(const std::string& title, const util::Table& table);
+
   /// Print free-form text to stdout and record it under "notes".
   void note(const std::string& text);
 
@@ -97,6 +102,7 @@ class Report {
     std::vector<std::vector<std::string>> rows;
   };
 
+  void record(const std::string& title, const util::Table& table);
   void write_json() const;
 
   std::string program_;

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "dht/maintenance.hpp"
 #include "exp/experiments.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -65,6 +66,32 @@ int main(int argc, char** argv) {
     }
     report.section("Table 5: timeouts per lookup, mean (1st, 99th pct)",
                    table);
+  }
+
+  {
+    // JSON-only: churn-driven maintenance updates per cell, split by cause
+    // (dht::Maintainer's per-cause plane). Text output is unchanged.
+    util::Table table({"overlay", "R", "maintenance total", "join repair",
+                       "leave repair", "stabilize refresh",
+                       "lookup promotion", "final size"});
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+      for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+        const exp::ChurnRow& row = row_at(ki, ri);
+        const auto cause = [&](dht::MaintenanceCause c) {
+          return row.maintenance_by_cause[static_cast<std::size_t>(c)];
+        };
+        table.row()
+            .add(exp::overlay_label(kinds[ki]))
+            .add(rates[ri], 2)
+            .add(row.maintenance_total)
+            .add(cause(dht::MaintenanceCause::kJoinRepair))
+            .add(cause(dht::MaintenanceCause::kLeaveRepair))
+            .add(cause(dht::MaintenanceCause::kStabilizeRefresh))
+            .add(cause(dht::MaintenanceCause::kLookupPromotion))
+            .add(static_cast<std::uint64_t>(row.final_size));
+      }
+    }
+    report.json_section("Maintenance updates under churn, by cause", table);
   }
 
   std::uint64_t failures = 0;

@@ -41,3 +41,7 @@ echo "perf_lookup_throughput smoke: OK"
 CYCLOID_BENCH_PERF_MAX_NODES=2048 \
   "$build_dir/bench/perf_build" > /dev/null
 echo "perf_build smoke: OK"
+
+CYCLOID_BENCH_PERF_CHURN_SECONDS=30 \
+  "$build_dir/bench/perf_maintenance" > /dev/null
+echo "perf_maintenance smoke: OK"

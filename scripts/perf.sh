@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Wall-clock performance track: build optimized and run the lookup
-# throughput and bulk-construction suites, writing BENCH_lookups.json and
-# BENCH_build.json next to the repo root.
+# throughput, bulk-construction, and maintenance suites, writing
+# BENCH_lookups.json, BENCH_build.json, and BENCH_maintenance.json next to
+# the repo root.
 #
 #   scripts/perf.sh                                    # full run (n up to 2^17)
 #   CYCLOID_BENCH_PERF_MAX_NODES=2048 scripts/perf.sh  # quick smoke
+#   CYCLOID_BENCH_PERF_CHURN_SECONDS=120 ...           # maintenance smoke
 #
-# Extra arguments are passed to both bench binaries. The JSON mirrors the
-# printed tables (bench::Report --json): one section per network size —
-# lookups/sec per overlay for the throughput suite, and eager vs bulk
-# build times (1 and N stabilize threads) for the construction suite.
+# Extra arguments are passed to all three bench binaries. The JSON mirrors
+# the printed tables (bench::Report --json): lookups/sec per overlay for the
+# throughput suite, eager vs bulk build times (1 and N stabilize threads)
+# for the construction suite, and maintenance updates/sec with the per-cause
+# split under the Fig. 12 churn workload for the maintenance suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,10 +20,14 @@ cd "$(dirname "$0")/.."
 build_dir="build-perf"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target perf_lookup_throughput --target perf_build
+  --target perf_lookup_throughput --target perf_build \
+  --target perf_maintenance
 
 "$build_dir/bench/perf_lookup_throughput" --json BENCH_lookups.json "$@"
 echo "wrote BENCH_lookups.json"
 
 "$build_dir/bench/perf_build" --json BENCH_build.json "$@"
 echo "wrote BENCH_build.json"
+
+"$build_dir/bench/perf_maintenance" --json BENCH_maintenance.json "$@"
+echo "wrote BENCH_maintenance.json"

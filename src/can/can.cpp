@@ -36,8 +36,50 @@ double torus_axis_distance(double x, const Interval& iv) {
 
 }  // namespace
 
+/// CAN's repair rules: zone handovers keep all state fresh, so the policy
+/// repairs eagerly and every departure semantics funnels into the graceful
+/// takeover rule. Join repair is inseparable from the zone split itself
+/// (join_at splits and relinks in one motion), so on_join has nothing left
+/// to do; a refresh re-attempts coalescing of fragmented zones.
+class CanMaintenancePolicy final : public dht::MaintenancePolicy {
+ public:
+  explicit CanMaintenancePolicy(CanNetwork& net) : net_(net) {}
+
+  bool repairs_eagerly() const override { return true; }
+
+  void on_join(NodeHandle) override {}
+
+  void on_graceful_leave(NodeHandle node) override {
+    net_.depart_gracefully(node);
+  }
+
+  void on_vanish(NodeHandle node) override {
+    // CAN has no stale-state model; even a "vanished" node's zones must go
+    // somewhere, so this too runs the takeover rule.
+    net_.depart_gracefully(node);
+  }
+
+  void on_mass_leave(NodeHandle node) override {
+    // Sequential takeovers (CAN repairs zone ownership as part of
+    // departure, so no state goes stale).
+    net_.depart_gracefully(node);
+  }
+
+  void refresh(NodeHandle node) override {
+    // Zone handovers keep all state fresh; nothing to repair. Use the pass
+    // to re-attempt coalescing of fragmented zones (node-local: coalesce
+    // only merges the node's own zone list, so the parallel pass stays
+    // race-free).
+    if (CanNode* state = net_.find(node)) net_.coalesce(*state);
+  }
+
+ private:
+  CanNetwork& net_;
+};
+
 CanNetwork::CanNetwork(int dims) : dims_(dims) {
   CYCLOID_EXPECTS(dims >= 1 && dims <= kMaxDims);
+  set_maintenance_policy(std::make_unique<CanMaintenancePolicy>(*this));
 }
 
 std::unique_ptr<CanNetwork> CanNetwork::build_random(std::size_t count,
@@ -170,7 +212,7 @@ void CanNetwork::relink(NodeHandle handle,
   CanNode* node = find(handle);
   CYCLOID_ASSERT(node != nullptr);
   // Every candidate is probed for adjacency: one exchange per candidate.
-  note_maintenance(candidates.size());
+  note_maintenance(handle, candidates.size());
   // Drop this node from its previous neighbours' sets, then re-evaluate
   // adjacency against the candidate set.
   for (const NodeHandle old : node->neighbors) {
@@ -235,6 +277,7 @@ NodeHandle CanNetwork::join_at(const Point& point) {
     raw->zones.push_back(all);
     nodes_.emplace(handle, std::move(fresh));
     register_handle(handle);
+    notify_joined(handle);
     return handle;
   }
 
@@ -281,6 +324,7 @@ NodeHandle CanNetwork::join_at(const Point& point) {
   candidates.insert(handle);
   relink(handle, candidates);
   relink(owner_handle, candidates);
+  notify_joined(handle);
   return handle;
 }
 
@@ -378,7 +422,7 @@ NodeHandle CanNetwork::join(std::uint64_t seed) {
   return join_at(point_from_hash(util::mix64(seed)));
 }
 
-void CanNetwork::leave(NodeHandle node) {
+void CanNetwork::depart_gracefully(NodeHandle node) {
   CanNode* leaver = find(node);
   CYCLOID_EXPECTS(leaver != nullptr);
   if (nodes_.size() == 1) {
@@ -409,25 +453,6 @@ void CanNetwork::leave(NodeHandle node) {
   unlink(node);
   candidates.erase(node);
   relink(heir, candidates);
-}
-
-void CanNetwork::fail_simultaneously(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  // Graceful mass departure: sequential takeovers (CAN repairs zone
-  // ownership as part of departure, so no state goes stale).
-  std::vector<NodeHandle> victims;
-  for (const NodeHandle h : node_handles()) {
-    if (rng.chance(p)) victims.push_back(h);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
-  for (const NodeHandle h : victims) leave(h);
-}
-
-void CanNetwork::stabilize_one(NodeHandle node) {
-  // Zone handovers keep all state fresh; nothing to repair. Use the pass to
-  // re-attempt coalescing of fragmented zones (node-local: coalesce only
-  // merges the node's own zone list, so the parallel pass stays race-free).
-  if (CanNode* state = find(node)) coalesce(*state);
 }
 
 bool CanNetwork::check_invariants() const {

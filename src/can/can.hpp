@@ -94,15 +94,18 @@ class CanNetwork final : public dht::DhtNetwork {
   // node_handles() uses the base registry implementation (handles are
   // ascending join serials — sorting the registry reproduces the previous
   // sorted-serial order).
+  // leave / fail_* / stabilize_* are engine-owned (dht::Maintainer); the
+  // overlay's takeover logic lives in CanMaintenancePolicy (can.cpp). The
+  // policy repairs eagerly: every departure — even fail_ungraceful — runs
+  // the graceful takeover rule, since CAN has no stale-state model.
   std::string name() const override { return "CAN"; }
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
-  void leave(dht::NodeHandle node) override;
-  void fail_simultaneously(double p, util::Rng& rng) override;
-  void stabilize_one(dht::NodeHandle node) override;
 
  private:
+  friend class CanMaintenancePolicy;
+
   dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)
@@ -127,6 +130,11 @@ class CanNetwork final : public dht::DhtNetwork {
 
   /// Merge perfect-buddy zone pairs owned by one node until fixpoint.
   void coalesce(CanNode& node) const;
+
+  /// The CAN takeover rule: hand the departing node's zones to its
+  /// smallest-volume neighbour, coalesce, relink (all departure semantics
+  /// funnel here — the maintenance policy repairs eagerly).
+  void depart_gracefully(dht::NodeHandle node);
 
   void unlink(dht::NodeHandle handle);
 

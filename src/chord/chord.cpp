@@ -14,12 +14,67 @@ using util::clockwise_distance;
 using util::in_half_open_cw;
 }  // namespace
 
+/// Chord's repair logic behind the maintenance engine: graceful leaves
+/// repair the successor structure immediately; fingers go stale until the
+/// stabilization refresh; a mass graceful departure makes every survivor
+/// re-check its ring pointers once.
+class ChordMaintenancePolicy final : public dht::MaintenancePolicy {
+ public:
+  explicit ChordMaintenancePolicy(ChordNetwork& net) : net_(net) {}
+
+  void on_join(NodeHandle node) override {
+    ChordNode* state = net_.find(node);
+    CYCLOID_ASSERT(state != nullptr);
+    net_.compute_state(*state);
+    net_.refresh_ring_around(state->id);
+  }
+
+  void on_graceful_leave(NodeHandle node) override {
+    CYCLOID_EXPECTS(net_.contains(node));
+    const std::uint64_t id = net_.find(node)->id;
+    net_.unlink(node);
+    if (!net_.ring_.empty()) net_.refresh_ring_around(id);
+  }
+
+  void on_vanish(NodeHandle node) override {
+    // Nodes vanish without notifying anyone: successor lists and
+    // predecessor pointers stay stale alongside the fingers.
+    net_.unlink(node);
+  }
+
+  void repair_after_mass_leave() override {
+    // Graceful departures repair the ring; fingers stay frozen.
+    for (const auto& [handle, node] : net_.nodes_) {
+      net_.note_maintenance(handle);  // mass departure: everyone re-checks
+      node->predecessor = net_.predecessor_of(node->id);
+      node->successors.clear();
+      std::uint64_t walk = node->id;
+      for (int s = 0; s < net_.successor_list_length_; ++s) {
+        const NodeHandle succ =
+            net_.successor_of((walk + 1) % net_.space_size_);
+        node->successors.push_back(succ);
+        walk = succ;
+      }
+    }
+  }
+
+  void refresh(NodeHandle node) override {
+    ChordNode* state = net_.find(node);
+    if (state == nullptr) return;
+    net_.compute_state(*state);
+  }
+
+ private:
+  ChordNetwork& net_;
+};
+
 ChordNetwork::ChordNetwork(int bits, int successor_list_length)
     : bits_(bits),
       space_size_(1ULL << bits),
       successor_list_length_(successor_list_length) {
   CYCLOID_EXPECTS(bits >= 1 && bits <= 32);
   CYCLOID_EXPECTS(successor_list_length >= 1);
+  set_maintenance_policy(std::make_unique<ChordMaintenancePolicy>(*this));
 }
 
 std::unique_ptr<ChordNetwork> ChordNetwork::build_random(
@@ -48,17 +103,14 @@ bool ChordNetwork::insert(std::uint64_t id) {
 
   auto node = std::make_unique<ChordNode>();
   node->id = id;
-  ChordNode* raw = node.get();
   nodes_.emplace(id, std::move(node));
   ring_.emplace(id, id);
   register_handle(id);
 
-  // Bulk construction defers derived state to finish_bulk's stabilize pass
-  // (which recomputes it from final membership anyway).
-  if (!bulk_building()) {
-    compute_state(*raw);
-    refresh_ring_around(id);
-  }
+  // The engine runs ChordMaintenancePolicy::on_join (compute_state +
+  // ring-neighbourhood refresh) under the join-repair cause scope; bulk
+  // construction defers derived state to finish_bulk's stabilize pass.
+  notify_joined(id);
   return true;
 }
 
@@ -122,7 +174,7 @@ void ChordNetwork::compute_state(ChordNode& node) {
   if (node.predecessor != before.predecessor ||
       node.successors != before.successors ||
       node.fingers != before.fingers) {
-    note_maintenance();
+    note_maintenance(node.id);
   }
 }
 
@@ -148,7 +200,7 @@ void ChordNetwork::refresh_ring_around(std::uint64_t id) {
       walk = succ;
     }
     if (node->predecessor != old_pred || node->successors != old_successors) {
-      note_maintenance();
+      note_maintenance(handle);
     }
     cursor = node->id;
   }
@@ -160,7 +212,7 @@ void ChordNetwork::refresh_ring_around(std::uint64_t id) {
     CYCLOID_ASSERT(node != nullptr);
     const NodeHandle old_pred = node->predecessor;
     node->predecessor = predecessor_of(node->id);
-    if (node->predecessor != old_pred) note_maintenance();
+    if (node->predecessor != old_pred) note_maintenance(next);
   }
 }
 
@@ -258,53 +310,6 @@ NodeHandle ChordNetwork::join(std::uint64_t seed) {
   const std::uint64_t id = util::mix64(seed) % space_size_;
   if (!insert(id)) return kNoNode;
   return id;
-}
-
-void ChordNetwork::leave(NodeHandle node) {
-  CYCLOID_EXPECTS(contains(node));
-  const std::uint64_t id = find(node)->id;
-  unlink(node);
-  if (!ring_.empty()) refresh_ring_around(id);
-}
-
-void ChordNetwork::fail_simultaneously(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  std::vector<NodeHandle> victims;
-  for (const auto& [id, handle] : ring_) {
-    if (rng.chance(p)) victims.push_back(handle);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
-  for (const NodeHandle handle : victims) unlink(handle);
-  // Graceful departures repair the ring; fingers stay frozen.
-  for (const auto& [handle, node] : nodes_) {
-    note_maintenance();  // mass graceful departure: everyone re-checks
-    node->predecessor = predecessor_of(node->id);
-    node->successors.clear();
-    std::uint64_t walk = node->id;
-    for (int s = 0; s < successor_list_length_; ++s) {
-      const NodeHandle succ = successor_of((walk + 1) % space_size_);
-      node->successors.push_back(succ);
-      walk = succ;
-    }
-  }
-}
-
-void ChordNetwork::fail_ungraceful(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  // Nodes vanish without notifying anyone: successor lists and predecessor
-  // pointers stay stale alongside the fingers.
-  std::vector<NodeHandle> victims;
-  for (const auto& [id, handle] : ring_) {
-    if (rng.chance(p)) victims.push_back(handle);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
-  for (const NodeHandle handle : victims) unlink(handle);
-}
-
-void ChordNetwork::stabilize_one(NodeHandle node) {
-  ChordNode* state = find(node);
-  if (state == nullptr) return;
-  compute_state(*state);
 }
 
 }  // namespace cycloid::chord

@@ -63,17 +63,18 @@ class ChordNetwork final : public dht::DhtNetwork {
 
   // DhtNetwork interface -----------------------------------------------
   // node_handles() uses the base registry implementation (handle == id, so
-  // ascending handle order is the ring order).
+  // ascending handle order is the ring order — also the engine's departure
+  // sampling order). leave / fail_* / stabilize_* are engine-owned
+  // (dht::Maintainer); the repair logic lives in ChordMaintenancePolicy
+  // (chord.cpp).
   std::string name() const override { return "Chord"; }
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
-  void leave(dht::NodeHandle node) override;
-  void fail_simultaneously(double p, util::Rng& rng) override;
-  void fail_ungraceful(double p, util::Rng& rng) override;
-  void stabilize_one(dht::NodeHandle node) override;
 
  private:
+  friend class ChordMaintenancePolicy;
+
   dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)

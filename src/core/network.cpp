@@ -16,11 +16,64 @@ using dht::NodeHandle;
 
 }  // namespace
 
+/// Cycloid's repair logic behind the maintenance engine (paper Sec. 3.3):
+/// joins and graceful leaves repair leaf sets eagerly; routing-table
+/// entries go stale until the stabilization refresh; mass graceful
+/// departures repair every leaf set once after all victims are unlinked.
+class CycloidMaintenancePolicy final : public dht::MaintenancePolicy {
+ public:
+  explicit CycloidMaintenancePolicy(CycloidNetwork& net) : net_(net) {}
+
+  void on_join(NodeHandle node) override {
+    CycloidNode* state = net_.find(node);
+    CYCLOID_ASSERT(state != nullptr);
+    net_.compute_routing_table(*state);
+    net_.refresh_leafsets_around(state->id.cubical);
+  }
+
+  void on_graceful_leave(NodeHandle node) override {
+    CYCLOID_EXPECTS(net_.contains(node));
+    const CccId id = CycloidNetwork::id_of(node);
+    net_.unlink(node);
+    // The departing node notifies its inside leaf set (and, when primary,
+    // its outside leaf set, which cascades through the neighboring
+    // cycles); all leaf sets referencing it are repaired. Cubical/cyclic
+    // entries elsewhere stay stale until stabilization.
+    net_.refresh_leafsets_around(id.cubical);
+  }
+
+  void on_vanish(NodeHandle node) override {
+    // Nodes vanish without warning: nobody is notified, so leaf sets stay
+    // stale alongside the routing tables (paper Sec. 5's open problem).
+    // Lookups discover the damage through timeouts until stabilization.
+    net_.unlink(node);
+  }
+
+  void repair_after_mass_leave() override {
+    // Graceful departures repair every leaf set; routing tables stay
+    // frozen.
+    for (const auto& [handle, node] : net_.nodes_) {
+      net_.compute_leaf_sets(*node);
+    }
+  }
+
+  void refresh(NodeHandle node) override {
+    CycloidNode* state = net_.find(node);
+    if (state == nullptr) return;  // departed before its stabilization timer
+    net_.compute_routing_table(*state);
+    net_.compute_leaf_sets(*state);
+  }
+
+ private:
+  CycloidNetwork& net_;
+};
+
 CycloidNetwork::CycloidNetwork(int dimension, int leaf_width,
                                NeighborSelection selection)
     : space_(dimension), leaf_width_(leaf_width), selection_(selection) {
   CYCLOID_EXPECTS(leaf_width >= 1 && leaf_width <= 8);
   by_level_.resize(static_cast<std::size_t>(dimension));
+  set_maintenance_policy(std::make_unique<CycloidMaintenancePolicy>(*this));
 }
 
 std::unique_ptr<CycloidNetwork> CycloidNetwork::build_complete(
@@ -70,20 +123,18 @@ bool CycloidNetwork::insert(const CccId& id) {
   std::uint64_t coord_seed = util::mix64(handle ^ 0xc0cac01aULL);
   node->x = static_cast<double>(util::splitmix64(coord_seed) >> 11) * 0x1.0p-53;
   node->y = static_cast<double>(util::splitmix64(coord_seed) >> 11) * 0x1.0p-53;
-  CycloidNode* raw = node.get();
   nodes_.emplace(handle, std::move(node));
   ring_.emplace(space_.ring_position(id), handle);
   by_level_[id.cyclic].emplace(id.cubical, handle);
   cycles_[id.cubical].emplace(id.cyclic, handle);
   register_handle(handle);
 
-  // Bulk construction defers all derived state to the single stabilize
-  // pass in finish_bulk — the eager per-insert computation below would be
-  // recomputed from final membership there anyway.
-  if (!bulk_building()) {
-    compute_routing_table(*raw);
-    refresh_leafsets_around(id.cubical);
-  }
+  // The engine runs the join repairs (CycloidMaintenancePolicy::on_join)
+  // under the join-repair cause scope. Bulk construction defers all
+  // derived state to the single stabilize pass in finish_bulk — the eager
+  // per-insert computation would be recomputed from final membership there
+  // anyway — so notify_joined is a no-op while bulk_building().
+  notify_joined(handle);
   return true;
 }
 
@@ -217,7 +268,7 @@ void CycloidNetwork::compute_routing_table(CycloidNode& node) {
 
   if (node.cubical_neighbor != old_cubical || node.cyclic_larger != old_larger ||
       node.cyclic_smaller != old_smaller) {
-    note_maintenance();
+    note_maintenance(handle_of(node.id));
   }
 }
 
@@ -269,7 +320,7 @@ void CycloidNetwork::compute_leaf_sets(CycloidNode& node) {
       node.inside_succ != old_inside_succ ||
       node.outside_pred != old_outside_pred ||
       node.outside_succ != old_outside_succ) {
-    note_maintenance();
+    note_maintenance(handle_of(node.id));
   }
 }
 
@@ -553,53 +604,6 @@ dht::NodeHandle CycloidNetwork::join(std::uint64_t seed) {
   const CccId id = space_.id_from_hash(util::mix64(seed));
   if (!insert(id)) return kNoNode;
   return handle_of(id);
-}
-
-void CycloidNetwork::leave(NodeHandle node) {
-  CYCLOID_EXPECTS(contains(node));
-  const CccId id = id_of(node);
-  unlink(node);
-  // The departing node notifies its inside leaf set (and, when primary, its
-  // outside leaf set, which cascades through the neighboring cycles); all
-  // leaf sets referencing it are repaired. Cubical/cyclic entries elsewhere
-  // stay stale until stabilization.
-  refresh_leafsets_around(id.cubical);
-}
-
-void CycloidNetwork::fail_simultaneously(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  std::vector<NodeHandle> victims;
-  for (const auto& [pos, handle] : ring_) {
-    if (rng.chance(p)) victims.push_back(handle);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) {
-    victims.pop_back();  // keep the network non-empty
-  }
-  for (const NodeHandle handle : victims) unlink(handle);
-  // Graceful departures repair every leaf set; routing tables stay frozen.
-  for (const auto& [handle, node] : nodes_) compute_leaf_sets(*node);
-}
-
-void CycloidNetwork::fail_ungraceful(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  // Nodes vanish without warning: nobody is notified, so leaf sets stay
-  // stale alongside the routing tables (paper Sec. 5's open problem).
-  // Lookups discover the damage through timeouts until stabilization.
-  std::vector<NodeHandle> victims;
-  for (const auto& [pos, handle] : ring_) {
-    if (rng.chance(p)) victims.push_back(handle);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) {
-    victims.pop_back();
-  }
-  for (const NodeHandle handle : victims) unlink(handle);
-}
-
-void CycloidNetwork::stabilize_one(NodeHandle node) {
-  CycloidNode* state = find(node);
-  if (state == nullptr) return;  // departed before its stabilization timer
-  compute_routing_table(*state);
-  compute_leaf_sets(*state);
 }
 
 double CycloidNetwork::link_latency(NodeHandle a, NodeHandle b) const {

@@ -141,20 +141,21 @@ class CycloidNetwork final : public dht::DhtNetwork {
   // DhtNetwork interface -----------------------------------------------
   // node_handles() uses the base registry implementation: a handle packs
   // (cubical << 8) | cyclic and cyclic < d <= 32, so ascending handle order
-  // is exactly ascending (cubical, cyclic) — the ring order.
+  // is exactly ascending (cubical, cyclic) — the ring order (this is also
+  // the order the maintenance engine's departure sampling draws in).
+  // leave / fail_* / stabilize_* are engine-owned (dht::Maintainer); the
+  // overlay's repair logic lives in CycloidMaintenancePolicy (network.cpp).
   std::string name() const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
-  void leave(dht::NodeHandle node) override;
-  void fail_simultaneously(double p, util::Rng& rng) override;
-  void fail_ungraceful(double p, util::Rng& rng) override;
-  void stabilize_one(dht::NodeHandle node) override;
 
   /// Routing-phase slots in LookupResult::phase_hops.
   enum Phase : std::size_t { kAscend = 0, kDescend = 1, kTraverse = 2 };
 
  private:
+  friend class CycloidMaintenancePolicy;
+
   dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)

@@ -1,0 +1,88 @@
+#include "dht/maintenance.hpp"
+
+#include <vector>
+
+#include "dht/network.hpp"
+#include "util/parallel.hpp"
+
+namespace cycloid::dht {
+
+std::string maintenance_cause_name(MaintenanceCause cause) {
+  switch (cause) {
+    case MaintenanceCause::kJoinRepair:
+      return "join";
+    case MaintenanceCause::kLeaveRepair:
+      return "leave";
+    case MaintenanceCause::kStabilizeRefresh:
+      return "refresh";
+    case MaintenanceCause::kLookupPromotion:
+      return "promotion";
+  }
+  return "unknown";
+}
+
+void Maintainer::joined(NodeHandle node) {
+  if (net_.bulk_building()) return;
+  CauseScope scope(*this, MaintenanceCause::kJoinRepair);
+  policy().on_join(node);
+}
+
+void Maintainer::leave(NodeHandle node) {
+  CauseScope scope(*this, MaintenanceCause::kLeaveRepair);
+  policy().on_graceful_leave(node);
+  // A graceful leave notifies the neighbours the protocol says to notify;
+  // anything else referencing the node stays stale until stabilization —
+  // unless this overlay repairs every affected link inline.
+  stale_ = stale_ || !policy().repairs_eagerly();
+}
+
+void Maintainer::depart_sample(double p, util::Rng& rng, bool ungraceful) {
+  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
+  MaintenancePolicy& pol = policy();
+  // Overlays with no stale state repair ungraceful departures exactly like
+  // graceful ones — record the degradation instead of pretending.
+  const bool graceful = !ungraceful || pol.repairs_eagerly();
+
+  // One Bernoulli draw per node in ascending identifier order — the same
+  // iteration (ring order) every pre-engine overlay loop used, so fixed
+  // seeds select the same victims.
+  std::vector<NodeHandle> victims;
+  for (const NodeHandle handle : net_.node_handles()) {
+    if (rng.chance(p)) victims.push_back(handle);
+  }
+  if (victims.size() == net_.node_count() && !victims.empty()) {
+    victims.pop_back();  // keep the network non-empty
+  }
+
+  CauseScope scope(*this, MaintenanceCause::kLeaveRepair);
+  if (graceful) {
+    for (const NodeHandle handle : victims) pol.on_mass_leave(handle);
+    pol.repair_after_mass_leave();
+    last_semantics_ = DepartureSemantics::kGraceful;
+  } else {
+    for (const NodeHandle handle : victims) pol.on_vanish(handle);
+    last_semantics_ = DepartureSemantics::kUngraceful;
+  }
+  stale_ = stale_ || !pol.repairs_eagerly();
+}
+
+void Maintainer::refresh_one(NodeHandle node) {
+  CauseScope scope(*this, MaintenanceCause::kStabilizeRefresh);
+  policy().refresh(node);
+}
+
+void Maintainer::run_pass(int threads) {
+  MaintenancePolicy& pol = policy();
+  // Pre-size the metrics plane: workers charge only their own node's slot,
+  // so with the plane already covering every live slot the pass performs no
+  // shared-state writes at all (DESIGN.md §10).
+  metrics_.ensure_capacity(net_.node_count());
+  CauseScope scope(*this, MaintenanceCause::kStabilizeRefresh);
+  util::parallel_for(net_.node_count(), threads,
+                     [this, &pol](std::size_t slot) {
+                       pol.refresh(net_.handle_at(slot));
+                     });
+  stale_ = false;
+}
+
+}  // namespace cycloid::dht

@@ -1,0 +1,304 @@
+// The maintenance engine — the mutation-plane sibling of dht::Router.
+//
+// dht::Maintainer owns the machinery the seven overlays used to duplicate:
+// departure sampling for fail_simultaneously/fail_ungraceful (one
+// registry-driven Bernoulli pass, preserving each overlay's pre-engine RNG
+// draw sequence on fixed seeds), the stale-entry bookkeeping that used to be
+// implicit per overlay, a record of which departure semantics actually ran
+// (ungraceful requests silently degrade to graceful for overlays that repair
+// eagerly), and a dense per-node, per-cause maintenance-metrics plane
+// (slot-indexed like LookupMetrics' query-load plane) replacing the old
+// single relaxed-atomic counter.
+//
+// An overlay participates by registering a MaintenancePolicy — its repair
+// logic for one membership event, with no sampling, no loops over victims,
+// and no accounting plumbing. The engine brackets every policy call in a
+// cause scope, so `note_maintenance(node)` charges land in the right
+// (slot, cause) cell without the policy naming the cause.
+//
+// Parallel passes: Maintainer::run_pass(threads) fans policy->refresh over
+// the frozen slot range. Determinism and TSan-cleanness rest on the same
+// contract as DhtNetwork::stabilize_all always had (DESIGN.md §9) plus one
+// new clause: a refresh charges only the refreshed node, so each worker
+// writes a disjoint row of the dense metrics plane and no atomics are
+// needed. The plane is pre-sized before the fan-out; charge() never grows
+// it mid-pass.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dht/types.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace cycloid::dht {
+
+class DhtNetwork;
+
+/// Why a maintenance update happened — the per-cause axis of the metrics
+/// plane (paper Sec. 4's fifth metric, broken down by protocol activity).
+enum class MaintenanceCause : std::size_t {
+  /// Repairs triggered by an arrival: the newcomer's table build plus the
+  /// neighbourhood refreshes around it.
+  kJoinRepair = 0,
+  /// Repairs triggered by departures, graceful or not (single leaves and
+  /// the mass-departure experiments).
+  kLeaveRepair = 1,
+  /// Periodic stabilization refreshes (stabilize_one / run_pass).
+  kStabilizeRefresh = 2,
+  /// Repair promotions learned by lookups and applied on absorb()
+  /// (Koorde's backup promotion).
+  kLookupPromotion = 3,
+};
+inline constexpr std::size_t kMaintenanceCauses = 4;
+
+/// Stable short name for reports and JSON fields ("join", "leave",
+/// "refresh", "promotion").
+std::string maintenance_cause_name(MaintenanceCause cause);
+
+/// Per-cause update counts (indexed by MaintenanceCause).
+using MaintenanceBreakdown = std::array<std::uint64_t, kMaintenanceCauses>;
+
+/// Which departure semantics a fail_* call actually executed. Ungraceful
+/// requests degrade to graceful on overlays whose maintenance model repairs
+/// eagerly and keeps no stale state (Viceroy, CAN).
+enum class DepartureSemantics {
+  kNone = 0,       ///< no mass departure ran yet
+  kGraceful = 1,   ///< victims notified their neighbours; repairs ran
+  kUngraceful = 2, ///< victims vanished silently; state left stale
+};
+
+/// The dense per-node, per-cause maintenance plane. Rows are the network's
+/// stable node slots (DhtNetwork::slot_of); charges against departed nodes
+/// fold into a single `departed` aggregate row so totals survive
+/// swap-remove slot reuse.
+class MaintenanceMetrics {
+ public:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// Charge `updates` state changes to `slot` under `cause`. kNoSlot (or a
+  /// slot the plane cannot grow to mid-pass) is never expected on the
+  /// parallel path; single-threaded callers may outgrow the plane and it
+  /// resizes. Thread-safety: concurrent calls must target distinct live
+  /// slots (the run_pass contract).
+  void charge(std::size_t slot, MaintenanceCause cause,
+              std::uint64_t updates) {
+    const std::size_t c = static_cast<std::size_t>(cause);
+    if (slot == kNoSlot) {
+      departed_[c] += updates;
+      return;
+    }
+    if (slot >= per_node_.size()) per_node_.resize(slot + 1);
+    per_node_[slot][c] += updates;
+  }
+
+  /// Registry hook: a new node took `slot`; zero any counts a previous
+  /// occupant left behind.
+  void on_register(std::size_t slot) {
+    if (slot < per_node_.size()) per_node_[slot].fill(0);
+  }
+
+  /// Registry hook: the node at `slot` is leaving and the node at
+  /// `last_slot` (the registry tail) is about to be swapped into its place.
+  /// Folds the departing node's counts into the departed aggregate and
+  /// moves the tail's counts along with its handle.
+  void on_unregister(std::size_t slot, std::size_t last_slot) {
+    CYCLOID_EXPECTS(slot <= last_slot);
+    if (slot < per_node_.size()) {
+      for (std::size_t c = 0; c < kMaintenanceCauses; ++c) {
+        departed_[c] += per_node_[slot][c];
+      }
+      per_node_[slot].fill(0);
+    }
+    if (last_slot != slot && last_slot < per_node_.size()) {
+      per_node_[slot] = per_node_[last_slot];
+      per_node_[last_slot].fill(0);
+    }
+  }
+
+  /// Grow the plane to cover `count` slots (called before a parallel pass
+  /// so workers never resize).
+  void ensure_capacity(std::size_t count) {
+    if (per_node_.size() < count) per_node_.resize(count);
+  }
+
+  /// Sum over all nodes (live + departed) and all causes — the legacy
+  /// `maintenance_updates()` value.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const MaintenanceBreakdown& row : per_node_) {
+      for (const std::uint64_t v : row) sum += v;
+    }
+    for (const std::uint64_t v : departed_) sum += v;
+    return sum;
+  }
+
+  /// Sum over all nodes for one cause.
+  std::uint64_t total(MaintenanceCause cause) const {
+    const std::size_t c = static_cast<std::size_t>(cause);
+    std::uint64_t sum = departed_[c];
+    for (const MaintenanceBreakdown& row : per_node_) sum += row[c];
+    return sum;
+  }
+
+  /// All four per-cause totals at once.
+  MaintenanceBreakdown by_cause() const {
+    MaintenanceBreakdown out = departed_;
+    for (const MaintenanceBreakdown& row : per_node_) {
+      for (std::size_t c = 0; c < kMaintenanceCauses; ++c) out[c] += row[c];
+    }
+    return out;
+  }
+
+  /// Per-cause counts charged to the live node at `slot`.
+  MaintenanceBreakdown of_slot(std::size_t slot) const {
+    return slot < per_node_.size() ? per_node_[slot] : MaintenanceBreakdown{};
+  }
+
+  /// Counts that were charged to since-departed nodes.
+  const MaintenanceBreakdown& departed() const noexcept { return departed_; }
+
+  void reset() {
+    for (MaintenanceBreakdown& row : per_node_) row.fill(0);
+    departed_.fill(0);
+  }
+
+ private:
+  std::vector<MaintenanceBreakdown> per_node_;
+  MaintenanceBreakdown departed_{};
+};
+
+/// An overlay's repair logic, one hook per membership event. Hooks run with
+/// the engine's cause scope already set; they charge via
+/// DhtNetwork::note_maintenance(node) exactly as the pre-engine bodies did.
+///
+/// Contract (mirrors StepPolicy's, DESIGN.md §10):
+///  - on_join runs after the newcomer's membership registration, outside
+///    bulk mode only (finish_bulk's run_pass covers bulk builds).
+///  - on_graceful_leave unlinks `node` and performs the protocol's
+///    departure notifications/repairs.
+///  - on_vanish unlinks `node` and repairs nothing (silent departure).
+///  - on_mass_leave is the per-victim step of fail_simultaneously; the
+///    default (on_vanish) fits overlays that defer mass repair to
+///    repair_after_mass_leave, which runs once after all victims are gone.
+///  - refresh recomputes one node's state from live membership; it must
+///    tolerate a departed handle (return, don't trap), charge only `node`,
+///    and depend only on frozen membership — the run_pass parallel/
+///    determinism contract.
+///  - repairs_eagerly() == true declares that every membership change
+///    repairs all affected state inline (no stale entries), which makes
+///    ungraceful departures indistinguishable from graceful ones; the
+///    engine then degrades fail_ungraceful to graceful semantics.
+class MaintenancePolicy {
+ public:
+  virtual ~MaintenancePolicy() = default;
+
+  virtual void on_join(NodeHandle node) = 0;
+  virtual void on_graceful_leave(NodeHandle node) = 0;
+  virtual void on_vanish(NodeHandle node) = 0;
+  virtual void refresh(NodeHandle node) = 0;
+
+  virtual bool repairs_eagerly() const { return false; }
+  virtual void on_mass_leave(NodeHandle node) { on_vanish(node); }
+  virtual void repair_after_mass_leave() {}
+};
+
+/// The engine. DhtNetwork owns one and delegates its entire non-join
+/// mutation surface (leave / fail_simultaneously / fail_ungraceful /
+/// stabilize_one / stabilize_all) to it; overlays install their policy at
+/// construction and keep only event-local repair code.
+class Maintainer {
+ public:
+  explicit Maintainer(DhtNetwork& net) : net_(net) {}
+  Maintainer(const Maintainer&) = delete;
+  Maintainer& operator=(const Maintainer&) = delete;
+
+  void set_policy(std::unique_ptr<MaintenancePolicy> policy) {
+    policy_ = std::move(policy);
+  }
+
+  // Entry points (each brackets the policy in its cause scope) -----------
+
+  /// A node finished membership registration. No-op while the network is
+  /// bulk-building (finish_bulk's pass rebuilds everything anyway).
+  void joined(NodeHandle node);
+
+  /// Graceful single departure.
+  void leave(NodeHandle node);
+
+  /// The shared Bernoulli departure pass behind fail_simultaneously
+  /// (`ungraceful == false`) and fail_ungraceful (`true`). Samples victims
+  /// from node_handles() — ascending identifier order, the exact order
+  /// (and therefore RNG draw sequence) of every pre-engine per-overlay
+  /// loop — and keeps at least one survivor.
+  void depart_sample(double p, util::Rng& rng, bool ungraceful);
+
+  /// Refresh one node's state (the churn driver's per-node stabilization
+  /// timer).
+  void refresh_one(NodeHandle node);
+
+  /// Refresh every node, fanned over `threads` workers against frozen
+  /// membership. State and metrics are identical at any thread count.
+  void run_pass(int threads);
+
+  // Bookkeeping ----------------------------------------------------------
+
+  /// Semantics of the most recent depart_sample (kNone before the first).
+  DepartureSemantics last_departure_semantics() const noexcept {
+    return last_semantics_;
+  }
+
+  /// True when departures may have left stale references that only a
+  /// stabilization pass will repair; cleared by run_pass.
+  bool stale() const noexcept { return stale_; }
+
+  /// Charge `updates` to `slot` under the active cause scope
+  /// (DhtNetwork::note_maintenance is the public face of this).
+  void charge(std::size_t slot, std::uint64_t updates) {
+    metrics_.charge(slot, cause_, updates);
+  }
+
+  const MaintenanceMetrics& metrics() const noexcept { return metrics_; }
+  /// Mutable plane access for DhtNetwork's registry hooks (slot movement).
+  MaintenanceMetrics& metrics_for_registry() noexcept { return metrics_; }
+  void reset() { metrics_.reset(); }
+
+  /// RAII cause scope; entry points install these around policy calls, and
+  /// DhtNetwork::absorb wraps apply_repairs in a kLookupPromotion scope.
+  class CauseScope {
+   public:
+    CauseScope(Maintainer& maintainer, MaintenanceCause cause)
+        : maintainer_(maintainer), previous_(maintainer.cause_) {
+      maintainer_.cause_ = cause;
+    }
+    ~CauseScope() { maintainer_.cause_ = previous_; }
+    CauseScope(const CauseScope&) = delete;
+    CauseScope& operator=(const CauseScope&) = delete;
+
+   private:
+    Maintainer& maintainer_;
+    MaintenanceCause previous_;
+  };
+
+ private:
+  MaintenancePolicy& policy() {
+    CYCLOID_EXPECTS(policy_ != nullptr);
+    return *policy_;
+  }
+
+  DhtNetwork& net_;
+  std::unique_ptr<MaintenancePolicy> policy_;
+  MaintenanceMetrics metrics_;
+  /// Active cause for incoming charges. Defaults to kJoinRepair: join-time
+  /// repair work runs inside the overlay's insert path (CAN's zone split
+  /// cannot be separated from it), before any engine scope is installed.
+  MaintenanceCause cause_ = MaintenanceCause::kJoinRepair;
+  DepartureSemantics last_semantics_ = DepartureSemantics::kNone;
+  bool stale_ = false;
+};
+
+}  // namespace cycloid::dht

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -135,16 +134,13 @@ class LookupMetrics {
 };
 
 /// Network-resident accounting kept behind DhtNetwork's legacy adapters
-/// (`query_loads()`, `maintenance_updates()`, Cycloid's
-/// `guard_fallbacks()`): a registry the sequential convenience wrapper
-/// absorbs sinks into, plus the maintenance-overhead counter written by the
-/// (non-const) membership and stabilization paths. The maintenance counter
-/// is atomic because the parallel stabilize pass (DhtNetwork::stabilize_all
-/// with threads > 1) increments it from every worker; relaxed ordering
-/// suffices — the total is a sum, so it is identical at any thread count.
+/// (`query_loads()`, Cycloid's `guard_fallbacks()`): the registry the
+/// sequential convenience wrapper absorbs sinks into. Maintenance-overhead
+/// accounting moved to the per-node, per-cause plane owned by
+/// dht::Maintainer (dht/maintenance.hpp); `maintenance_updates()` on
+/// DhtNetwork is a thin adapter over it.
 struct MetricsRegistry {
   LookupMetrics lookups;
-  std::atomic<std::uint64_t> maintenance_updates{0};
 };
 
 }  // namespace cycloid::dht

@@ -16,23 +16,35 @@
 // as long as no mutation-plane call (join/leave/fail_*/stabilize_*/absorb or
 // the 2-arg lookup wrapper) runs concurrently with them.
 //
-// Every overlay routes through the shared hop loop in dht::Router
-// (dht/router.hpp): `route` builds a per-lookup step policy and hands it to
-// the engine, which owns timeout detection, phase accounting, query-load
-// charging, tracing, and the universal hop cap.
+// Both planes are engine-owned; an overlay contributes only policies:
+//
+//               reads                           mutates
+//   lookup ──► dht::Router ── StepPolicy ──► [overlay routing state]
+//   join/leave/fail_*/stabilize_*
+//          ──► dht::Maintainer ── MaintenancePolicy ──► [overlay state]
+//
+// dht::Router (dht/router.hpp) owns the hop loop: `route` builds a
+// per-lookup step policy and hands it to the engine, which owns timeout
+// detection, phase accounting, query-load charging, tracing, and the
+// universal hop cap. dht::Maintainer (dht/maintenance.hpp) owns the
+// mutation plane's shared machinery: departure sampling for the fail_*
+// experiments, stale-entry bookkeeping, departure-semantics recording, the
+// parallel stabilization pass, and the dense per-node/per-cause
+// maintenance-metrics plane charged through note_maintenance(node).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "dht/maintenance.hpp"
 #include "dht/metrics.hpp"
 #include "dht/router.hpp"
 #include "dht/types.hpp"
 #include "util/contracts.hpp"
-#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace cycloid::dht {
@@ -144,11 +156,22 @@ class DhtNetwork {
   }
 
   /// Fold a finished batch into the registry and let the overlay apply the
-  /// repair promotions the batch learned (Koorde's backup promotion).
+  /// repair promotions the batch learned (Koorde's backup promotion). The
+  /// promotions run under the engine's kLookupPromotion cause scope.
   void absorb(const LookupMetrics& batch) {
-    apply_repairs(batch);
+    {
+      Maintainer::CauseScope scope(maintainer_,
+                                   MaintenanceCause::kLookupPromotion);
+      apply_repairs(batch);
+    }
     metrics_.lookups.merge(batch);
   }
+
+  // Mutation plane ---------------------------------------------------------
+  // Non-join membership mutation is engine-owned: the calls below delegate
+  // to this network's dht::Maintainer, which samples victims, installs the
+  // cause scope for maintenance accounting, and invokes the overlay's
+  // MaintenancePolicy hooks (dht/maintenance.hpp).
 
   /// Add one node whose identifier derives from `seed`; returns its handle
   /// (kNoNode if the derived identifier was already taken).
@@ -156,11 +179,13 @@ class DhtNetwork {
 
   /// Graceful departure: the node notifies the neighbors its protocol says
   /// to notify; everything else goes stale until stabilization.
-  virtual void leave(NodeHandle node) = 0;
+  void leave(NodeHandle node) { maintainer_.leave(node); }
 
   /// Simultaneous graceful departures: every node leaves with probability p
   /// (paper Sec. 4.3). No stabilization runs afterwards.
-  virtual void fail_simultaneously(double p, util::Rng& rng) = 0;
+  void fail_simultaneously(double p, util::Rng& rng) {
+    maintainer_.depart_sample(p, rng, /*ungraceful=*/false);
+  }
 
   /// Simultaneous UNGRACEFUL departures — nodes vanish without notifying
   /// anyone (the paper's future-work scenario, Sec. 5): even the eagerly
@@ -168,26 +193,35 @@ class DhtNetwork {
   /// lookups may fail until stabilization repairs them. Overlays whose
   /// maintenance model has no stale state (Viceroy, CAN — they repair
   /// incoming links as part of any membership change in this simulation)
-  /// inherit the graceful behaviour.
-  virtual void fail_ungraceful(double p, util::Rng& rng) {
-    fail_simultaneously(p, rng);
+  /// degrade to the graceful behaviour; last_departure_semantics() reports
+  /// which semantics actually ran.
+  void fail_ungraceful(double p, util::Rng& rng) {
+    maintainer_.depart_sample(p, rng, /*ungraceful=*/true);
   }
+
+  /// Semantics of the most recent fail_* call (kNone before the first) —
+  /// distinguishes a genuine ungraceful run from the silent graceful
+  /// degradation of the eager-repair overlays.
+  DepartureSemantics last_departure_semantics() const noexcept {
+    return maintainer_.last_departure_semantics();
+  }
+
+  /// True when departures may have left stale references that only a
+  /// stabilization pass will repair (cleared by stabilize_all/finish_bulk).
+  bool has_stale_entries() const noexcept { return maintainer_.stale(); }
 
   /// Refresh one node's routing state from the live membership (the
   /// "system stabilization" the paper delegates repairs to).
-  virtual void stabilize_one(NodeHandle node) = 0;
+  void stabilize_one(NodeHandle node) { maintainer_.refresh_one(node); }
 
   /// Refresh every node's routing state, fanning the per-node recomputation
-  /// out over `threads` workers. Safe to parallelize because stabilize_one
-  /// only reads the membership indexes (frozen for the duration of the
-  /// pass) and other nodes' immutable identity fields, and writes only its
-  /// own node's state; maintenance accounting is atomic. The resulting
-  /// network state is identical at any thread count (DESIGN.md §9).
-  void stabilize_all(int threads = 1) {
-    util::parallel_for(node_count(), threads, [this](std::size_t slot) {
-      stabilize_one(handle_at(slot));
-    });
-  }
+  /// out over `threads` workers via Maintainer::run_pass. Safe to
+  /// parallelize because a policy's refresh only reads the membership
+  /// indexes (frozen for the duration of the pass) and other nodes'
+  /// immutable identity fields, and writes only its own node's state and
+  /// its own row of the maintenance plane. The resulting network state is
+  /// identical at any thread count (DESIGN.md §9/§10).
+  void stabilize_all(int threads = 1) { maintainer_.run_pass(threads); }
 
   // Bulk construction ----------------------------------------------------
   // Builders populating a network from scratch bracket their insert loop
@@ -231,13 +265,26 @@ class DhtNetwork {
   /// Maintenance-overhead accounting — the fifth DHT metric of paper
   /// Sec. 4: the number of per-node state updates the protocol performed
   /// (leaf-set/successor repairs on join/leave, stabilization refreshes).
-  /// One update ~ one maintenance message exchange with that node.
+  /// One update ~ one maintenance message exchange with that node. The
+  /// engine keeps the full per-node, per-cause plane; this adapter reports
+  /// the grand total the pre-engine atomic counter held.
   std::uint64_t maintenance_updates() const {
-    return metrics_.maintenance_updates.load(std::memory_order_relaxed);
+    return maintainer_.metrics().total();
   }
-  void reset_maintenance() {
-    metrics_.maintenance_updates.store(0, std::memory_order_relaxed);
+  /// Updates attributed to one cause (join repair, leave repair,
+  /// stabilization refresh, lookup-learned promotion).
+  std::uint64_t maintenance_updates(MaintenanceCause cause) const {
+    return maintainer_.metrics().total(cause);
   }
+  /// All four per-cause totals at once.
+  MaintenanceBreakdown maintenance_by_cause() const {
+    return maintainer_.metrics().by_cause();
+  }
+  /// The full plane (per-node rows + departed aggregate).
+  const MaintenanceMetrics& maintenance_metrics() const {
+    return maintainer_.metrics();
+  }
+  void reset_maintenance() { maintainer_.reset(); }
 
   /// The network-resident registry (sequential-wrapper accounting).
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -250,19 +297,36 @@ class DhtNetwork {
 
   /// Membership-registry hooks: overlays call these exactly where they
   /// insert/erase their node-state maps, so the registry and the overlay
-  /// state are never observably out of sync.
+  /// state are never observably out of sync. Both forward slot movement to
+  /// the maintenance plane, which folds a departing node's counts into its
+  /// departed aggregate and keeps the tail node's counts with its handle
+  /// across the swap-remove.
   void register_handle(NodeHandle node) {
+    maintainer_.metrics_for_registry().on_register(handle_vec_.size());
     handle_pos_.emplace(node, handle_vec_.size());
     handle_vec_.push_back(node);
   }
   void unregister_handle(NodeHandle node) {
     const std::size_t pos = handle_pos_.at(node);
+    maintainer_.metrics_for_registry().on_unregister(pos,
+                                                     handle_vec_.size() - 1);
     const NodeHandle moved = handle_vec_.back();
     handle_vec_[pos] = moved;
     handle_pos_[moved] = pos;
     handle_vec_.pop_back();
     handle_pos_.erase(node);
   }
+
+  /// Install the overlay's repair policy (every overlay constructor does
+  /// this once, before any membership mutation).
+  void set_maintenance_policy(std::unique_ptr<MaintenancePolicy> policy) {
+    maintainer_.set_policy(std::move(policy));
+  }
+
+  /// Overlay insert paths call this after membership registration so the
+  /// engine can run the policy's on_join under the join-repair cause scope
+  /// (no-op during bulk construction).
+  void notify_joined(NodeHandle node) { maintainer_.joined(node); }
 
   /// Overlay hook: apply the repair promotions a finished sink learned
   /// (Koorde promotes live backups into dead de Bruijn pointers). Default:
@@ -271,12 +335,13 @@ class DhtNetwork {
     (void)batch;
   }
 
-  /// Mutation-plane accounting: `updates` per-node state changes performed
-  /// by repair/stabilization machinery. Callable from the parallel
-  /// stabilize workers (relaxed atomic add — the total is order-free).
-  void note_maintenance(std::uint64_t updates = 1) {
-    metrics_.maintenance_updates.fetch_add(updates,
-                                           std::memory_order_relaxed);
+  /// Mutation-plane accounting: `updates` state changes performed on
+  /// `node` by repair/stabilization machinery, charged to the node's slot
+  /// under the engine's active cause scope. Callable from the parallel
+  /// stabilize workers provided each worker charges only its own node (the
+  /// run_pass contract — workers then write disjoint plane rows).
+  void note_maintenance(NodeHandle node, std::uint64_t updates = 1) {
+    maintainer_.charge(slot_of(node), updates);
   }
 
   MetricsRegistry metrics_;
@@ -288,6 +353,9 @@ class DhtNetwork {
   std::unordered_map<NodeHandle, std::size_t> handle_pos_;
   /// Between begin_bulk() and finish_bulk(): inserts defer table work.
   bool bulk_building_ = false;
+  /// The mutation-plane engine (declared last; it only stores a reference
+  /// to this network and never touches it during construction).
+  Maintainer maintainer_{*this};
 };
 
 }  // namespace cycloid::dht

@@ -9,6 +9,7 @@
 #include "sim/poisson.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
+#include "viceroy/viceroy.hpp"
 
 namespace cycloid::exp {
 
@@ -223,6 +224,12 @@ ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
                 static_cast<std::uint64_t>(join_leave_rate * 1000.0));
   auto net = make_dense_overlay(kind, dimension, s);
   const std::size_t initial_size = net->node_count();
+  // Counting only — no RNG draws or routing impact, so the lookup/path
+  // columns stay byte-identical with or without this.
+  if (auto* v = dynamic_cast<viceroy::ViceroyNetwork*>(net.get())) {
+    v->enable_maintenance_accounting(true);
+  }
+  net->reset_maintenance();  // measure churn-driven maintenance, not build
   util::Rng rng(s + 1);
 
   sim::EventQueue queue;
@@ -299,6 +306,8 @@ ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
   row.timeouts_p99 = stats.lookups == 0 ? 0.0 : stats.timeouts.p99();
   row.failures = stats.failures + stats.incorrect;
   row.final_size = net->node_count();
+  row.maintenance_total = net->maintenance_updates();
+  row.maintenance_by_cause = net->maintenance_by_cause();
   return row;
 }
 

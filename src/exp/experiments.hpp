@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "dht/maintenance.hpp"
 #include "dht/types.hpp"
 #include "exp/overlays.hpp"
 
@@ -131,6 +132,11 @@ struct ChurnRow {
   double timeouts_p99 = 0.0;
   std::uint64_t failures = 0;
   std::size_t final_size = 0;
+  /// Maintenance updates incurred during the run (build cost excluded),
+  /// total and split by cause (join repair / leave repair / stabilization
+  /// refresh / lookup-learned promotion).
+  std::uint64_t maintenance_total = 0;
+  dht::MaintenanceBreakdown maintenance_by_cause{};
 };
 
 /// Start a 2048-node network; Poisson lookups at 1/s, Poisson joins and

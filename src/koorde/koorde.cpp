@@ -14,6 +14,46 @@ using util::clockwise_distance;
 using util::in_half_open_cw;
 }  // namespace
 
+/// Koorde's repair rules (paper Sec. 4.3): joins and graceful leaves repair
+/// the successor structure around the affected identifier; mass graceful
+/// departures repair every node's ring state but leave de Bruijn pointers
+/// frozen; ungraceful departures repair nothing. A refresh recomputes the
+/// full node state (ring + de Bruijn pointer + backups).
+class KoordeMaintenancePolicy final : public dht::MaintenancePolicy {
+ public:
+  explicit KoordeMaintenancePolicy(KoordeNetwork& net) : net_(net) {}
+
+  void on_join(NodeHandle node) override {
+    KoordeNode* state = net_.find(node);
+    CYCLOID_ASSERT(state != nullptr);
+    net_.compute_state(*state);
+    net_.refresh_ring_around(state->id);
+  }
+
+  void on_graceful_leave(NodeHandle node) override {
+    CYCLOID_EXPECTS(net_.contains(node));
+    const std::uint64_t id = net_.find(node)->id;
+    net_.unlink(node);
+    if (!net_.ring_.empty()) net_.refresh_ring_around(id);
+  }
+
+  void on_vanish(NodeHandle node) override { net_.unlink(node); }
+
+  void repair_after_mass_leave() override {
+    // Graceful departures repair the ring; de Bruijn pointers stay frozen.
+    for (const auto& [handle, node] : net_.nodes_) net_.repair_ring(*node);
+  }
+
+  void refresh(NodeHandle node) override {
+    KoordeNode* state = net_.find(node);
+    if (state == nullptr) return;
+    net_.compute_state(*state);
+  }
+
+ private:
+  KoordeNetwork& net_;
+};
+
 KoordeNetwork::KoordeNetwork(int bits, int successor_list_length,
                              int backup_count, int shift_bits)
     : bits_(bits),
@@ -26,6 +66,7 @@ KoordeNetwork::KoordeNetwork(int bits, int successor_list_length,
   CYCLOID_EXPECTS(backup_count >= 0);
   // Identifiers are read as whole base-2^shift_bits digit strings.
   CYCLOID_EXPECTS(shift_bits >= 1 && bits % shift_bits == 0);
+  set_maintenance_policy(std::make_unique<KoordeMaintenancePolicy>(*this));
 }
 
 std::unique_ptr<KoordeNetwork> KoordeNetwork::build_random(int bits,
@@ -55,17 +96,13 @@ bool KoordeNetwork::insert(std::uint64_t id) {
 
   auto node = std::make_unique<KoordeNode>();
   node->id = id;
-  KoordeNode* raw = node.get();
   nodes_.emplace(id, std::move(node));
   ring_.emplace(id, id);
   register_handle(id);
 
   // Bulk construction defers derived state to finish_bulk's stabilize pass
   // (which recomputes it from final membership anyway).
-  if (!bulk_building()) {
-    compute_state(*raw);
-    refresh_ring_around(id);
-  }
+  notify_joined(id);
   return true;
 }
 
@@ -126,7 +163,7 @@ void KoordeNetwork::repair_ring(KoordeNode& node) {
     walk = succ;
   }
   if (node.predecessor != old_pred || node.successors != old_successors) {
-    note_maintenance();
+    note_maintenance(node.id);
   }
 }
 
@@ -320,9 +357,13 @@ void KoordeNetwork::apply_repairs(const dht::LookupMetrics& batch) {
     if (it == node->db_backups.end()) continue;  // stale learning
     node->de_bruijn = promoted;  // promote; consumed entries are dropped
     node->db_backups.erase(node->db_backups.begin(), it + 1);
+    note_maintenance(handle);
   }
   for (const NodeHandle handle : batch.broken_links()) {
-    if (KoordeNode* node = find(handle)) node->db_broken = true;
+    KoordeNode* node = find(handle);
+    if (node == nullptr || node->db_broken) continue;
+    node->db_broken = true;
+    note_maintenance(handle);
   }
 }
 
@@ -330,42 +371,6 @@ NodeHandle KoordeNetwork::join(std::uint64_t seed) {
   const std::uint64_t id = util::mix64(seed) % space_size_;
   if (!insert(id)) return kNoNode;
   return id;
-}
-
-void KoordeNetwork::leave(NodeHandle node) {
-  CYCLOID_EXPECTS(contains(node));
-  const std::uint64_t id = find(node)->id;
-  unlink(node);
-  if (!ring_.empty()) refresh_ring_around(id);
-}
-
-void KoordeNetwork::fail_simultaneously(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  std::vector<NodeHandle> victims;
-  for (const auto& [id, handle] : ring_) {
-    if (rng.chance(p)) victims.push_back(handle);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
-  for (const NodeHandle handle : victims) unlink(handle);
-  // Graceful departures repair the ring; de Bruijn pointers stay frozen.
-  for (const auto& [handle, node] : nodes_) repair_ring(*node);
-}
-
-void KoordeNetwork::fail_ungraceful(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  // Nobody is notified: ring structure and de Bruijn pointers all go stale.
-  std::vector<NodeHandle> victims;
-  for (const auto& [id, handle] : ring_) {
-    if (rng.chance(p)) victims.push_back(handle);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
-  for (const NodeHandle handle : victims) unlink(handle);
-}
-
-void KoordeNetwork::stabilize_one(NodeHandle node) {
-  KoordeNode* state = find(node);
-  if (state == nullptr) return;
-  compute_state(*state);
 }
 
 }  // namespace cycloid::koorde

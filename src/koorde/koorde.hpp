@@ -89,14 +89,12 @@ class KoordeNetwork final : public dht::DhtNetwork {
   ImaginaryStart best_start(const KoordeNode& node, std::uint64_t key) const;
 
   // DhtNetwork interface -----------------------------------------------
+  // leave / fail_* / stabilize_* are engine-owned (dht::Maintainer); the
+  // overlay's repair logic lives in KoordeMaintenancePolicy (koorde.cpp).
   std::string name() const override { return "Koorde"; }
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
-  void leave(dht::NodeHandle node) override;
-  void fail_simultaneously(double p, util::Rng& rng) override;
-  void fail_ungraceful(double p, util::Rng& rng) override;
-  void stabilize_one(dht::NodeHandle node) override;
 
  protected:
   /// Apply the backup promotions a batch of const lookups learned: the
@@ -104,6 +102,8 @@ class KoordeNetwork final : public dht::DhtNetwork {
   void apply_repairs(const dht::LookupMetrics& batch) override;
 
  private:
+  friend class KoordeMaintenancePolicy;
+
   dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)

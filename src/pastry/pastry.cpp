@@ -15,6 +15,53 @@ using util::circular_distance;
 using util::clockwise_distance;
 }  // namespace
 
+/// Pastry's repair rules (header comment): joins repair the joiner's full
+/// state plus the leaf sets around it; graceful leaves repair the leaf sets
+/// around the departed identifier; mass graceful departures repair every
+/// node's leaf sets while routing tables and neighborhoods stay frozen;
+/// ungraceful departures repair nothing. A refresh recomputes leaf sets,
+/// routing table, and neighborhood set.
+class PastryMaintenancePolicy final : public dht::MaintenancePolicy {
+ public:
+  explicit PastryMaintenancePolicy(PastryNetwork& net) : net_(net) {}
+
+  void on_join(NodeHandle node) override {
+    PastryNode* state = net_.find(node);
+    CYCLOID_ASSERT(state != nullptr);
+    net_.compute_leaf_sets(*state);
+    net_.compute_routing_table(*state);
+    net_.compute_neighborhood(*state);
+    net_.refresh_leafsets_around(state->id);
+  }
+
+  void on_graceful_leave(NodeHandle node) override {
+    CYCLOID_EXPECTS(net_.contains(node));
+    const std::uint64_t id = net_.find(node)->id;
+    net_.unlink(node);
+    if (!net_.ring_.empty()) net_.refresh_leafsets_around(id);
+  }
+
+  void on_vanish(NodeHandle node) override { net_.unlink(node); }
+
+  void repair_after_mass_leave() override {
+    // Graceful departures repair the leaf sets; routing tables stay frozen.
+    for (const auto& [handle, node] : net_.nodes_) {
+      net_.compute_leaf_sets(*node);
+    }
+  }
+
+  void refresh(NodeHandle node) override {
+    PastryNode* state = net_.find(node);
+    if (state == nullptr) return;
+    net_.compute_leaf_sets(*state);
+    net_.compute_routing_table(*state);
+    net_.compute_neighborhood(*state);
+  }
+
+ private:
+  PastryNetwork& net_;
+};
+
 PastryNetwork::PastryNetwork(int bits, int bits_per_digit, int leaf_set_size,
                              int neighborhood_size)
     : bits_(bits),
@@ -27,6 +74,7 @@ PastryNetwork::PastryNetwork(int bits, int bits_per_digit, int leaf_set_size,
   CYCLOID_EXPECTS(bits_per_digit >= 1 && bits % bits_per_digit == 0);
   CYCLOID_EXPECTS(leaf_set_size >= 2 && leaf_set_size % 2 == 0);
   CYCLOID_EXPECTS(neighborhood_size >= 0);
+  set_maintenance_policy(std::make_unique<PastryMaintenancePolicy>(*this));
 }
 
 std::unique_ptr<PastryNetwork> PastryNetwork::build_random(
@@ -64,7 +112,6 @@ bool PastryNetwork::insert(std::uint64_t id, double x, double y) {
   node->id = id;
   node->x = x;
   node->y = y;
-  PastryNode* raw = node.get();
   nodes_.emplace(id, std::move(node));
   ring_.emplace(id, id);
   register_handle(id);
@@ -72,12 +119,7 @@ bool PastryNetwork::insert(std::uint64_t id, double x, double y) {
   // Bulk construction defers derived state to finish_bulk's stabilize pass
   // (which recomputes it from final membership anyway) — for Pastry this
   // skips an O(n) neighbourhood scan per insert, the dominant build cost.
-  if (!bulk_building()) {
-    compute_leaf_sets(*raw);
-    compute_routing_table(*raw);
-    compute_neighborhood(*raw);
-    refresh_leafsets_around(id);
-  }
+  notify_joined(id);
   return true;
 }
 
@@ -163,12 +205,12 @@ void PastryNetwork::compute_leaf_sets(PastryNode& node) {
     node.leaf_larger.push_back(up->second);
   }
   if (node.leaf_smaller != old_smaller || node.leaf_larger != old_larger) {
-    note_maintenance();
+    note_maintenance(node.id);
   }
 }
 
 void PastryNetwork::compute_routing_table(PastryNode& node) {
-  note_maintenance();
+  note_maintenance(node.id);
   node.routing_table.assign(
       static_cast<std::size_t>(rows_),
       std::vector<NodeHandle>(1ULL << bits_per_digit_, kNoNode));
@@ -390,44 +432,6 @@ NodeHandle PastryNetwork::join(std::uint64_t seed) {
     return kNoNode;
   }
   return id;
-}
-
-void PastryNetwork::leave(NodeHandle node) {
-  CYCLOID_EXPECTS(contains(node));
-  const std::uint64_t id = find(node)->id;
-  unlink(node);
-  if (!ring_.empty()) refresh_leafsets_around(id);
-}
-
-void PastryNetwork::fail_simultaneously(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  std::vector<NodeHandle> victims;
-  for (const auto& [id, handle] : ring_) {
-    if (rng.chance(p)) victims.push_back(handle);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
-  for (const NodeHandle handle : victims) unlink(handle);
-  // Graceful departures repair the leaf sets; routing tables stay frozen.
-  for (const auto& [handle, node] : nodes_) compute_leaf_sets(*node);
-}
-
-void PastryNetwork::fail_ungraceful(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  // Nobody is notified: leaf sets stay stale alongside the routing tables.
-  std::vector<NodeHandle> victims;
-  for (const auto& [id, handle] : ring_) {
-    if (rng.chance(p)) victims.push_back(handle);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
-  for (const NodeHandle handle : victims) unlink(handle);
-}
-
-void PastryNetwork::stabilize_one(NodeHandle node) {
-  PastryNode* state = find(node);
-  if (state == nullptr) return;
-  compute_leaf_sets(*state);
-  compute_routing_table(*state);
-  compute_neighborhood(*state);
 }
 
 }  // namespace cycloid::pastry

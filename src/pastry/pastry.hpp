@@ -79,16 +79,16 @@ class PastryNetwork final : public dht::DhtNetwork {
   // DhtNetwork interface -----------------------------------------------
   // node_handles() uses the base registry implementation (handle == id, so
   // ascending handle order is the ring order).
+  // leave / fail_* / stabilize_* are engine-owned (dht::Maintainer); the
+  // overlay's repair logic lives in PastryMaintenancePolicy (pastry.cpp).
   std::string name() const override { return "Pastry"; }
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
-  void leave(dht::NodeHandle node) override;
-  void fail_simultaneously(double p, util::Rng& rng) override;
-  void fail_ungraceful(double p, util::Rng& rng) override;
-  void stabilize_one(dht::NodeHandle node) override;
 
  private:
+  friend class PastryMaintenancePolicy;
+
   dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)

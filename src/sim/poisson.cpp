@@ -17,9 +17,13 @@ std::shared_ptr<PoissonProcess> PoissonProcess::start(EventQueue& queue,
 }
 
 void PoissonProcess::arm() {
-  auto self = shared_from_this();
-  queue_.schedule_in(rng_.exponential(rate_), [self] {
-    if (self->stopped_) return;
+  // Weak capture: the caller's handle is the sole owner. A strong capture
+  // would keep a stopped process (and whatever its action captured) alive
+  // inside the queue until the arrival drains — possibly never, when
+  // run_until stops short of it.
+  queue_.schedule_in(rng_.exponential(rate_), [weak = weak_from_this()] {
+    const auto self = weak.lock();
+    if (self == nullptr || self->stopped_) return;
     self->action_();
     if (!self->stopped_) self->arm();
   });
@@ -39,9 +43,9 @@ std::shared_ptr<PeriodicProcess> PeriodicProcess::start(EventQueue& queue,
 }
 
 void PeriodicProcess::arm(double delay) {
-  auto self = shared_from_this();
-  queue_.schedule_in(delay, [self] {
-    if (self->stopped_) return;
+  queue_.schedule_in(delay, [weak = weak_from_this()] {
+    const auto self = weak.lock();
+    if (self == nullptr || self->stopped_) return;
     self->action_();
     if (!self->stopped_) self->arm(self->period_);
   });

@@ -18,9 +18,10 @@ class PoissonProcess : public std::enable_shared_from_this<PoissonProcess> {
   using Action = std::function<void()>;
 
   /// Create and start a Poisson process firing `action` at `rate` events per
-  /// virtual second until stop() is called. Returns a handle that keeps the
-  /// process alive; dropping the handle does NOT stop it (the queue holds a
-  /// shared reference while an arrival is pending).
+  /// virtual second until stop() is called. The returned handle is the sole
+  /// owner: the queue holds only a weak reference while an arrival is
+  /// pending, so dropping the handle destroys the process and cancels its
+  /// pending arrival (the queued closure fires but finds the process gone).
   static std::shared_ptr<PoissonProcess> start(EventQueue& queue,
                                                util::Rng& rng, double rate,
                                                Action action);

@@ -21,6 +21,55 @@ double cw(double a, double b) noexcept {
 
 }  // namespace
 
+/// Viceroy's repair rules: every join and leave updates both outgoing AND
+/// incoming connections immediately (the eager maintenance the paper's
+/// conclusion criticizes), so nothing ever goes stale — repairs_eagerly()
+/// is true, mass departures (graceful or not) reduce to plain unlinks, and
+/// a refresh has nothing to do. The 7 + referencers charge models the
+/// messages those eager updates cost; counting the incoming side scans the
+/// membership, so it stays off unless accounting is enabled.
+class ViceroyMaintenancePolicy final : public dht::MaintenancePolicy {
+ public:
+  explicit ViceroyMaintenancePolicy(ViceroyNetwork& net) : net_(net) {}
+
+  bool repairs_eagerly() const override { return true; }
+
+  void on_join(NodeHandle node) override {
+    if (net_.count_maintenance_) {
+      // The newcomer establishes its 7 links and every node whose links now
+      // resolve to it must be told (Viceroy updates incoming connections).
+      net_.note_maintenance(node, 7 + net_.count_referencers(node));
+    }
+  }
+
+  void on_graceful_leave(NodeHandle node) override {
+    CYCLOID_EXPECTS(net_.contains(node));
+    // Departing Viceroy nodes update all incoming and outgoing connections;
+    // links are resolved from the live membership, so removal is complete.
+    if (net_.count_maintenance_) {
+      net_.note_maintenance(node, 7 + net_.count_referencers(node));
+    }
+    net_.unlink(node);
+  }
+
+  void on_vanish(NodeHandle node) override { net_.unlink(node); }
+
+  // Mass departures take the default on_mass_leave -> on_vanish path: the
+  // simultaneous-failure experiment drops the victims without charging
+  // (links re-resolve from whatever membership remains).
+
+  void refresh(NodeHandle) override {
+    // Links are maintained eagerly on every join/leave; nothing to refresh.
+  }
+
+ private:
+  ViceroyNetwork& net_;
+};
+
+ViceroyNetwork::ViceroyNetwork() {
+  set_maintenance_policy(std::make_unique<ViceroyMaintenancePolicy>(*this));
+}
+
 std::unique_ptr<ViceroyNetwork> ViceroyNetwork::build_random(std::size_t count,
                                                              util::Rng& rng,
                                                              int threads) {
@@ -53,11 +102,7 @@ bool ViceroyNetwork::insert(double id, int level) {
   ring_.emplace(id, handle);
   levels_[level].emplace(id, handle);
   register_handle(handle);
-  if (count_maintenance_) {
-    // The newcomer establishes its 7 links and every node whose links now
-    // resolve to it must be told (Viceroy updates incoming connections).
-    note_maintenance(7 + count_referencers(handle));
-  }
+  notify_joined(handle);
   return true;
 }
 
@@ -322,30 +367,6 @@ NodeHandle ViceroyNetwork::join(std::uint64_t seed) {
                            static_cast<std::uint64_t>(estimate_levels));
   if (!insert(id, level)) return kNoNode;
   return ring_.at(id);
-}
-
-void ViceroyNetwork::leave(NodeHandle node) {
-  CYCLOID_EXPECTS(contains(node));
-  // Departing Viceroy nodes update all incoming and outgoing connections;
-  // links are resolved from the live membership, so removal is complete.
-  if (count_maintenance_) {
-    note_maintenance(7 + count_referencers(node));
-  }
-  unlink(node);
-}
-
-void ViceroyNetwork::fail_simultaneously(double p, util::Rng& rng) {
-  CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
-  std::vector<NodeHandle> victims;
-  for (const auto& [id, handle] : ring_) {
-    if (rng.chance(p)) victims.push_back(handle);
-  }
-  if (victims.size() == nodes_.size() && !victims.empty()) victims.pop_back();
-  for (const NodeHandle handle : victims) unlink(handle);
-}
-
-void ViceroyNetwork::stabilize_one(NodeHandle) {
-  // Links are maintained eagerly on every join/leave; nothing to refresh.
 }
 
 }  // namespace cycloid::viceroy

@@ -48,7 +48,7 @@ struct ViceroyLinks {
 
 class ViceroyNetwork final : public dht::DhtNetwork {
  public:
-  ViceroyNetwork() = default;
+  ViceroyNetwork();
 
   /// A network of `count` nodes with uniform-random identifiers and levels
   /// drawn from [1, log2(count)]. `threads` sizes the finish_bulk stabilize
@@ -73,14 +73,15 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   // node_handles() keeps its override: handles are join serials, so the
   // base registry sort would NOT give ascending identifier order — the
   // real-valued ring map does.
+  // leave / fail_* / stabilize_* are engine-owned (dht::Maintainer); the
+  // overlay's eager-repair accounting lives in ViceroyMaintenancePolicy
+  // (viceroy.cpp). The policy repairs eagerly, so even fail_ungraceful runs
+  // with graceful semantics — links always resolve fresh (paper Sec. 4.3).
   std::string name() const override { return "Viceroy"; }
   std::vector<dht::NodeHandle> node_handles() const override;
   std::vector<std::string> phase_names() const override;
   dht::NodeHandle owner_of(dht::KeyHash key) const override;
   dht::NodeHandle join(std::uint64_t seed) override;
-  void leave(dht::NodeHandle node) override;
-  void fail_simultaneously(double p, util::Rng& rng) override;
-  void stabilize_one(dht::NodeHandle node) override;
 
   /// Viceroy repairs both outgoing AND incoming connections on every join
   /// and leave (that is why it never times out — and why the paper calls
@@ -90,6 +91,8 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   void enable_maintenance_accounting(bool on) { count_maintenance_ = on; }
 
  private:
+  friend class ViceroyMaintenancePolicy;
+
   dht::LookupResult route_impl(dht::NodeHandle from, dht::KeyHash key,
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)

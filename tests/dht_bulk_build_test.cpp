@@ -27,6 +27,8 @@
 #include "util/rng.hpp"
 #include "viceroy/viceroy.hpp"
 
+#include "overlay_state_compare.hpp"
+
 namespace cycloid {
 namespace {
 
@@ -99,98 +101,6 @@ std::unique_ptr<dht::DhtNetwork> build_incremental(OverlayKind kind) {
     }
   }
   return nullptr;
-}
-
-/// Field-by-field comparison of every node's routing state.
-void expect_same_state(OverlayKind kind, const dht::DhtNetwork& a,
-                       const dht::DhtNetwork& b) {
-  const auto handles = a.node_handles();
-  ASSERT_EQ(handles, b.node_handles()) << exp::overlay_label(kind);
-  switch (kind) {
-    case OverlayKind::kCycloid7:
-    case OverlayKind::kCycloid11: {
-      const auto& na = dynamic_cast<const ccc::CycloidNetwork&>(a);
-      const auto& nb = dynamic_cast<const ccc::CycloidNetwork&>(b);
-      for (const dht::NodeHandle h : handles) {
-        const ccc::CycloidNode& x = na.node_state(h);
-        const ccc::CycloidNode& y = nb.node_state(h);
-        EXPECT_EQ(x.cubical_neighbor, y.cubical_neighbor) << h;
-        EXPECT_EQ(x.cyclic_larger, y.cyclic_larger) << h;
-        EXPECT_EQ(x.cyclic_smaller, y.cyclic_smaller) << h;
-        EXPECT_EQ(x.inside_pred, y.inside_pred) << h;
-        EXPECT_EQ(x.inside_succ, y.inside_succ) << h;
-        EXPECT_EQ(x.outside_pred, y.outside_pred) << h;
-        EXPECT_EQ(x.outside_succ, y.outside_succ) << h;
-      }
-      break;
-    }
-    case OverlayKind::kViceroy: {
-      const auto& na = dynamic_cast<const viceroy::ViceroyNetwork&>(a);
-      const auto& nb = dynamic_cast<const viceroy::ViceroyNetwork&>(b);
-      for (const dht::NodeHandle h : handles) {
-        EXPECT_EQ(na.node_state(h).id, nb.node_state(h).id) << h;
-        EXPECT_EQ(na.node_state(h).level, nb.node_state(h).level) << h;
-        const viceroy::ViceroyLinks la = na.links_of(h);
-        const viceroy::ViceroyLinks lb = nb.links_of(h);
-        EXPECT_EQ(la.ring_pred, lb.ring_pred) << h;
-        EXPECT_EQ(la.ring_succ, lb.ring_succ) << h;
-        EXPECT_EQ(la.down_left, lb.down_left) << h;
-        EXPECT_EQ(la.down_right, lb.down_right) << h;
-        EXPECT_EQ(la.up, lb.up) << h;
-      }
-      break;
-    }
-    case OverlayKind::kChord: {
-      const auto& na = dynamic_cast<const chord::ChordNetwork&>(a);
-      const auto& nb = dynamic_cast<const chord::ChordNetwork&>(b);
-      for (const dht::NodeHandle h : handles) {
-        const chord::ChordNode& x = na.node_state(h);
-        const chord::ChordNode& y = nb.node_state(h);
-        EXPECT_EQ(x.predecessor, y.predecessor) << h;
-        EXPECT_EQ(x.successors, y.successors) << h;
-        EXPECT_EQ(x.fingers, y.fingers) << h;
-      }
-      break;
-    }
-    case OverlayKind::kKoorde: {
-      const auto& na = dynamic_cast<const koorde::KoordeNetwork&>(a);
-      const auto& nb = dynamic_cast<const koorde::KoordeNetwork&>(b);
-      for (const dht::NodeHandle h : handles) {
-        const koorde::KoordeNode& x = na.node_state(h);
-        const koorde::KoordeNode& y = nb.node_state(h);
-        EXPECT_EQ(x.predecessor, y.predecessor) << h;
-        EXPECT_EQ(x.successors, y.successors) << h;
-        EXPECT_EQ(x.de_bruijn, y.de_bruijn) << h;
-        EXPECT_EQ(x.db_backups, y.db_backups) << h;
-        EXPECT_EQ(x.db_broken, y.db_broken) << h;
-      }
-      break;
-    }
-    case OverlayKind::kPastry: {
-      const auto& na = dynamic_cast<const pastry::PastryNetwork&>(a);
-      const auto& nb = dynamic_cast<const pastry::PastryNetwork&>(b);
-      for (const dht::NodeHandle h : handles) {
-        const pastry::PastryNode& x = na.node_state(h);
-        const pastry::PastryNode& y = nb.node_state(h);
-        EXPECT_EQ(x.routing_table, y.routing_table) << h;
-        EXPECT_EQ(x.leaf_smaller, y.leaf_smaller) << h;
-        EXPECT_EQ(x.leaf_larger, y.leaf_larger) << h;
-        EXPECT_EQ(x.neighborhood, y.neighborhood) << h;
-        EXPECT_EQ(x.x, y.x) << h;
-        EXPECT_EQ(x.y, y.y) << h;
-      }
-      break;
-    }
-    case OverlayKind::kCan: {
-      const auto& na = dynamic_cast<const can::CanNetwork&>(a);
-      const auto& nb = dynamic_cast<const can::CanNetwork&>(b);
-      for (const dht::NodeHandle h : handles) {
-        EXPECT_EQ(na.node_state(h).zones, nb.node_state(h).zones) << h;
-        EXPECT_EQ(na.node_state(h).neighbors, nb.node_state(h).neighbors) << h;
-      }
-      break;
-    }
-  }
 }
 
 class BulkBuildTest : public ::testing::TestWithParam<OverlayKind> {};

@@ -179,6 +179,32 @@ TEST_P(ConformanceTest, FailSimultaneouslyLeavesWorkingNetwork) {
   EXPECT_GE(resolved, 270u);
 }
 
+// The maintenance engine records which departure semantics actually ran.
+// Overlays with a stale-state model honor the ungraceful request; Viceroy
+// and CAN repair eagerly (their lookups never hit departed nodes), so the
+// engine deliberately falls back to graceful semantics for them — the
+// silent fallback the per-overlay fail_* bodies used to hide.
+TEST_P(ConformanceTest, DepartureSemanticsAreRecorded) {
+  auto net = make(200, 23);
+  EXPECT_EQ(net->last_departure_semantics(), dht::DepartureSemantics::kNone);
+
+  util::Rng graceful_rng(24);
+  net->fail_simultaneously(0.1, graceful_rng);
+  EXPECT_EQ(net->last_departure_semantics(),
+            dht::DepartureSemantics::kGraceful);
+
+  util::Rng ungraceful_rng(25);
+  net->fail_ungraceful(0.1, ungraceful_rng);
+  const bool eager = GetParam() == OverlayKind::kViceroy ||
+                     GetParam() == OverlayKind::kCan;
+  EXPECT_EQ(net->last_departure_semantics(),
+            eager ? dht::DepartureSemantics::kGraceful
+                  : dht::DepartureSemantics::kUngraceful);
+  EXPECT_EQ(net->has_stale_entries(), !eager);
+  net->stabilize_all();
+  EXPECT_FALSE(net->has_stale_entries());
+}
+
 TEST_P(ConformanceTest, NameIsStable) {
   auto net = make(10, 22);
   EXPECT_EQ(net->name(), overlay_label(GetParam()));

@@ -200,6 +200,25 @@ TEST(Fig12Churn, StabilizationKeepsLookupsCleanAndCorrect) {
   }
 }
 
+TEST(Fig12Churn, MaintenanceBreakdownCoversChurnActivity) {
+  const ChurnRow row =
+      run_churn_experiment(OverlayKind::kCycloid7, 6, 0.2, 600.0, 30.0, 13);
+  // Joins, leaves, and stabilization all ran, so every cause except
+  // lookup-learned promotion (Koorde-only) must have charged something, and
+  // the per-cause split partitions the total exactly.
+  using dht::MaintenanceCause;
+  const auto at = [&](MaintenanceCause cause) {
+    return row.maintenance_by_cause[static_cast<std::size_t>(cause)];
+  };
+  EXPECT_GT(at(MaintenanceCause::kJoinRepair), 0u);
+  EXPECT_GT(at(MaintenanceCause::kLeaveRepair), 0u);
+  EXPECT_GT(at(MaintenanceCause::kStabilizeRefresh), 0u);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : row.maintenance_by_cause) sum += v;
+  EXPECT_EQ(sum, row.maintenance_total);
+  EXPECT_GT(row.maintenance_total, 0u);
+}
+
 TEST(Fig12Churn, PathLengthInsensitiveToChurnRate) {
   const ChurnRow slow =
       run_churn_experiment(OverlayKind::kCycloid7, 6, 0.05, 600.0, 30.0, 14);

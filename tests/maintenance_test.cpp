@@ -1,9 +1,19 @@
 // Tests for the maintenance-overhead accounting (the fifth DHT metric of
-// paper Sec. 4) across the overlays.
+// paper Sec. 4) across the overlays — now the per-node, per-cause plane
+// owned by dht::Maintainer. The golden section pins each overlay's
+// per-cause totals over a fixed join/leave/fail/stabilize script to the
+// values the pre-engine per-overlay counters produced; the parallel section
+// pins run_pass(1) ≡ run_pass(N) field by field.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
+
 #include "core/network.hpp"
+#include "dht/maintenance.hpp"
 #include "exp/overlays.hpp"
+#include "overlay_state_compare.hpp"
 #include "util/rng.hpp"
 #include "viceroy/viceroy.hpp"
 
@@ -86,6 +96,132 @@ TEST(Maintenance, ViceroyEventCostExceedsChords) {
     return static_cast<double>(net.maintenance_updates()) / 40.0;
   };
   EXPECT_GT(cost_per_leave(*viceroy_net), cost_per_leave(*chord_net));
+}
+
+// --------------------------------------------------------------------------
+// Golden per-cause totals
+//
+// A fixed script — 20 joins, 20 targeted leaves, one graceful mass failure,
+// stabilize, one ungraceful mass failure, stabilize — on each overlay. The
+// `total` column is pinned to the value the pre-engine per-overlay counters
+// produced for the identical script (RNG draw sequences are preserved), and
+// the per-cause split both sums to it and is pinned itself, so any change
+// to charge attribution shows up as a diff here.
+
+struct GoldenBreakdown {
+  OverlayKind kind;
+  std::uint64_t join;
+  std::uint64_t leave;
+  std::uint64_t refresh;
+  std::uint64_t promotion;
+};
+
+constexpr std::array<GoldenBreakdown, 7> kGoldenBreakdowns{{
+    {OverlayKind::kCycloid7, 94, 184, 253, 0},    // total 531
+    {OverlayKind::kCycloid11, 136, 323, 290, 0},  // total 749
+    {OverlayKind::kViceroy, 257, 262, 0, 0},      // total 519
+    {OverlayKind::kChord, 100, 445, 474, 0},      // total 1019
+    {OverlayKind::kKoorde, 80, 166, 92, 0},       // total 338
+    {OverlayKind::kPastry, 200, 343, 863, 0},     // total 1406
+    {OverlayKind::kCan, 278, 546, 0, 0},          // total 824
+}};
+
+void run_golden_script(dht::DhtNetwork& net) {
+  std::uint64_t seed = 1000;
+  for (int i = 0; i < 20; ++i) {
+    dht::NodeHandle h = dht::kNoNode;
+    while (h == dht::kNoNode) h = net.join(seed++);
+  }
+  util::Rng leave_rng(21);
+  for (int i = 0; i < 20; ++i) net.leave(net.random_node(leave_rng));
+  util::Rng fail_rng(31);
+  net.fail_simultaneously(0.1, fail_rng);
+  net.stabilize_all();
+  util::Rng vanish_rng(41);
+  net.fail_ungraceful(0.1, vanish_rng);
+  net.stabilize_all();
+}
+
+TEST(Maintenance, PerCauseTotalsMatchPreEngineSeedValues) {
+  for (const GoldenBreakdown& golden : kGoldenBreakdowns) {
+    auto net = make_sparse_overlay(golden.kind, 7, 400, 11);
+    if (auto* v = dynamic_cast<viceroy::ViceroyNetwork*>(net.get())) {
+      v->enable_maintenance_accounting(true);
+    }
+    net->reset_maintenance();
+    run_golden_script(*net);
+
+    const dht::MaintenanceBreakdown by_cause = net->maintenance_by_cause();
+    const auto at = [&](dht::MaintenanceCause cause) {
+      return by_cause[static_cast<std::size_t>(cause)];
+    };
+    const std::string label = overlay_label(golden.kind);
+    EXPECT_EQ(at(dht::MaintenanceCause::kJoinRepair), golden.join) << label;
+    EXPECT_EQ(at(dht::MaintenanceCause::kLeaveRepair), golden.leave) << label;
+    EXPECT_EQ(at(dht::MaintenanceCause::kStabilizeRefresh), golden.refresh)
+        << label;
+    EXPECT_EQ(at(dht::MaintenanceCause::kLookupPromotion), golden.promotion)
+        << label;
+
+    // The per-cause plane partitions the legacy aggregate exactly.
+    std::uint64_t sum = 0;
+    for (const std::uint64_t count : by_cause) sum += count;
+    EXPECT_EQ(sum, net->maintenance_updates()) << label;
+    EXPECT_EQ(sum, golden.join + golden.leave + golden.refresh +
+                       golden.promotion)
+        << label;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Parallel stabilization determinism
+//
+// run_pass charges only the refreshed node's own slot of a pre-sized dense
+// plane, so a parallel pass performs no shared-state writes: the resulting
+// routing state AND the metrics plane must be field-by-field identical at
+// any thread count. check.sh's TSan job runs this test with real threads.
+
+class ParallelRunPassTest : public ::testing::TestWithParam<OverlayKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllOverlays, ParallelRunPassTest,
+                         ::testing::ValuesIn(extended_overlays()),
+                         [](const auto& info) {
+                           std::string label = overlay_label(info.param);
+                           for (char& c : label) {
+                             if (c == '-') c = '_';
+                           }
+                           return label;
+                         });
+
+TEST_P(ParallelRunPassTest, StateAndMetricsAreThreadCountIndependent) {
+  const auto damage = [](dht::DhtNetwork& net) {
+    util::Rng rng(31);
+    net.fail_ungraceful(0.2, rng);
+  };
+  auto one = make_sparse_overlay(GetParam(), 7, 400, 11);
+  auto many = make_sparse_overlay(GetParam(), 7, 400, 11);
+  damage(*one);
+  damage(*many);
+  one->reset_maintenance();
+  many->reset_maintenance();
+  one->stabilize_all(/*threads=*/1);
+  many->stabilize_all(/*threads=*/4);
+
+  expect_same_state(GetParam(), *one, *many);
+  const bool eager = GetParam() == OverlayKind::kViceroy ||
+                     GetParam() == OverlayKind::kCan;
+  if (!eager) {
+    // Ungraceful damage left stale entries, so the pass must repair some.
+    EXPECT_GT(one->maintenance_updates(), 0u);
+  }
+  EXPECT_EQ(one->maintenance_by_cause(), many->maintenance_by_cause());
+  const dht::MaintenanceMetrics& ma = one->maintenance_metrics();
+  const dht::MaintenanceMetrics& mb = many->maintenance_metrics();
+  ASSERT_EQ(one->node_count(), many->node_count());
+  for (std::size_t slot = 0; slot < one->node_count(); ++slot) {
+    EXPECT_EQ(ma.of_slot(slot), mb.of_slot(slot)) << slot;
+  }
+  EXPECT_EQ(ma.departed(), mb.departed());
 }
 
 TEST(Maintenance, ResetClearsTheCounter) {

@@ -1,6 +1,7 @@
 // Tests for the discrete-event kernel driving the churn experiment.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -126,6 +127,39 @@ TEST(PoissonProcess, StopHaltsArrivals) {
   proc->stop();
   queue.run_until(100.0);
   EXPECT_EQ(events, at_stop);
+}
+
+// Regression: arm() used to capture a strong shared_from_this() reference in
+// the queued closure, so a stopped-and-released process stayed alive inside
+// the queue until its next arrival drained — never, when run_until stops
+// short of it. The handle must be the sole owner: dropping it destroys the
+// process before run_until even runs, and the orphaned arrival fires into a
+// dead weak reference without invoking the action.
+TEST(PoissonProcess, CancelledProcessIsDestroyedBeforeRunUntilReturns) {
+  EventQueue queue;
+  util::Rng rng(7);
+  int events = 0;
+  auto proc = PoissonProcess::start(queue, rng, 10.0, [&] { ++events; });
+  std::weak_ptr<PoissonProcess> watch = proc;
+  proc->stop();
+  proc.reset();
+  EXPECT_TRUE(watch.expired());  // destroyed NOW, not when the arrival fires
+  EXPECT_GE(queue.pending(), 1u);  // the orphaned arrival is still queued
+  queue.run_until(100.0);
+  EXPECT_EQ(events, 0);
+}
+
+TEST(PeriodicProcess, CancelledProcessIsDestroyedBeforeRunUntilReturns) {
+  EventQueue queue;
+  int events = 0;
+  auto proc = PeriodicProcess::start(queue, 1.0, 0.5, [&] { ++events; });
+  std::weak_ptr<PeriodicProcess> watch = proc;
+  proc->stop();
+  proc.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_GE(queue.pending(), 1u);
+  queue.run_until(100.0);
+  EXPECT_EQ(events, 0);
 }
 
 TEST(PeriodicProcess, FiresEveryPeriodAfterPhase) {
