@@ -24,6 +24,11 @@ int main(int argc, char** argv) {
   const int d = 8;  // 2048-position identifier space
   const std::size_t count = 1600;  // leave room for joins
   const int events = 200;
+  // CYCLOID_BENCH_MAINT_INCREMENTAL=1 replaces the final stabilize_all with
+  // an incremental drain of the neighborhoods the 400 membership events
+  // dirtied. Default off keeps the output byte-identical.
+  const bool incremental =
+      bench::env_u64("CYCLOID_BENCH_MAINT_INCREMENTAL", 0) != 0;
 
   util::Table table({"overlay", "updates/join", "updates/leave",
                      "updates/stabilization pass"});
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
     if (auto* viceroy_net = dynamic_cast<viceroy::ViceroyNetwork*>(net.get())) {
       viceroy_net->enable_maintenance_accounting(true);
     }
+    if (incremental) net->set_dirty_tracking(true);
     util::Rng rng(bench::kBenchSeed + 1);
 
     net->reset_maintenance();
@@ -74,7 +80,11 @@ int main(int argc, char** argv) {
     add_by_cause(exp::overlay_label(kind), "leave", *net);
 
     net->reset_maintenance();
-    net->stabilize_all();
+    if (incremental) {
+      net->stabilize_dirty();
+    } else {
+      net->stabilize_all();
+    }
     const double per_stabilize =
         static_cast<double>(net->maintenance_updates()) /
         static_cast<double>(net->node_count());

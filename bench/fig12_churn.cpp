@@ -19,6 +19,14 @@ int main(int argc, char** argv) {
   const std::uint64_t seconds =
       bench::env_u64("CYCLOID_BENCH_CHURN_SECONDS", 3000);
   const auto duration = static_cast<double>(seconds);
+  // CYCLOID_BENCH_CHURN_INCREMENTAL=1 swaps the per-node stabilization
+  // timers for the engine's dirty-queue drains (same RNG stream, so the
+  // workload is identical). Default off: the tables below stay
+  // byte-identical with previous revisions.
+  const exp::StabilizeMode mode =
+      bench::env_u64("CYCLOID_BENCH_CHURN_INCREMENTAL", 0) != 0
+          ? exp::StabilizeMode::kIncremental
+          : exp::StabilizeMode::kFull;
   const std::vector<double> rates = {0.05, 0.10, 0.15, 0.20,
                                      0.25, 0.30, 0.35, 0.40};
   const std::vector<exp::OverlayKind> kinds = exp::all_overlays();
@@ -30,7 +38,7 @@ int main(int argc, char** argv) {
   util::parallel_for(rows.size(), bench::threads(), [&](std::size_t i) {
     rows[i] = exp::run_churn_experiment(kinds[i / rates.size()], 8,
                                         rates[i % rates.size()], duration,
-                                        30.0, bench::kBenchSeed);
+                                        30.0, bench::kBenchSeed, mode);
   });
   const auto row_at = [&](std::size_t kind_idx, std::size_t rate_idx)
       -> const exp::ChurnRow& {
@@ -92,6 +100,31 @@ int main(int argc, char** argv) {
       }
     }
     report.json_section("Maintenance updates under churn, by cause", table);
+  }
+
+  if (mode == exp::StabilizeMode::kIncremental) {
+    // Only emitted in incremental mode, so the default output (text AND
+    // JSON) is untouched when the flag is off.
+    util::Table table({"overlay", "R", "nodes refreshed dirty",
+                       "nodes skipped clean", "skip fraction"});
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+      for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+        const exp::ChurnRow& row = row_at(ki, ri);
+        const double scanned = static_cast<double>(row.nodes_refreshed_dirty +
+                                                   row.nodes_skipped_clean);
+        table.row()
+            .add(exp::overlay_label(kinds[ki]))
+            .add(rates[ri], 2)
+            .add(row.nodes_refreshed_dirty)
+            .add(row.nodes_skipped_clean)
+            .add(scanned == 0.0
+                     ? 0.0
+                     : static_cast<double>(row.nodes_skipped_clean) / scanned,
+                 3);
+      }
+    }
+    report.section("Incremental stabilization: per-drain refresh/skip counts",
+                   table);
   }
 
   std::uint64_t failures = 0;

@@ -10,6 +10,11 @@
 // is printed alongside so a throughput regression can be told apart from a
 // charge-attribution change — the simulated columns stay seed-determined.
 //
+// Every cell then re-runs under StabilizeMode::kIncremental (identical RNG
+// stream, so the same joins/leaves/lookups): the second table pairs the two
+// modes' updates/sec, the wall-clock speedup, and the fraction of per-drain
+// scans the dirty queue skipped as already clean.
+//
 // Knobs:
 //   CYCLOID_BENCH_PERF_CHURN_SECONDS  virtual seconds per cell (default 600;
 //                                     CI smoke sets 120 — runs stay cheap)
@@ -50,37 +55,71 @@ int main(int argc, char** argv) {
   util::Table table({"overlay", "R", "virtual s", "wall s", "updates",
                      "updates/s", "join repair", "leave repair",
                      "stabilize refresh", "lookup promotion", "final size"});
+  util::Table compare({"overlay", "R", "full updates/s", "incr updates/s",
+                       "full wall s", "incr wall s", "speedup",
+                       "refreshed dirty", "skipped clean", "skip fraction"});
   for (const exp::OverlayKind kind : exp::extended_overlays()) {
     for (const double rate : rates) {
-      const auto start = std::chrono::steady_clock::now();
-      const exp::ChurnRow row = exp::run_churn_experiment(
-          kind, 8, rate, duration, 30.0, bench::kBenchSeed);
-      const double wall_s = seconds_since(start);
+      const auto full_start = std::chrono::steady_clock::now();
+      const exp::ChurnRow full = exp::run_churn_experiment(
+          kind, 8, rate, duration, 30.0, bench::kBenchSeed,
+          exp::StabilizeMode::kFull);
+      const double full_wall_s = seconds_since(full_start);
+
+      const auto incr_start = std::chrono::steady_clock::now();
+      const exp::ChurnRow incr = exp::run_churn_experiment(
+          kind, 8, rate, duration, 30.0, bench::kBenchSeed,
+          exp::StabilizeMode::kIncremental);
+      const double incr_wall_s = seconds_since(incr_start);
+
       const auto cause = [&](dht::MaintenanceCause c) {
-        return row.maintenance_by_cause[static_cast<std::size_t>(c)];
+        return full.maintenance_by_cause[static_cast<std::size_t>(c)];
       };
       table.row()
           .add(exp::overlay_label(kind))
           .add(rate, 1)
           .add(seconds)
-          .add(wall_s, 3)
-          .add(row.maintenance_total)
-          .add(static_cast<double>(row.maintenance_total) / wall_s, 0)
+          .add(full_wall_s, 3)
+          .add(full.maintenance_total)
+          .add(static_cast<double>(full.maintenance_total) / full_wall_s, 0)
           .add(cause(dht::MaintenanceCause::kJoinRepair))
           .add(cause(dht::MaintenanceCause::kLeaveRepair))
           .add(cause(dht::MaintenanceCause::kStabilizeRefresh))
           .add(cause(dht::MaintenanceCause::kLookupPromotion))
-          .add(static_cast<std::uint64_t>(row.final_size));
+          .add(static_cast<std::uint64_t>(full.final_size));
+
+      const double scanned = static_cast<double>(incr.nodes_refreshed_dirty +
+                                                 incr.nodes_skipped_clean);
+      compare.row()
+          .add(exp::overlay_label(kind))
+          .add(rate, 1)
+          .add(static_cast<double>(full.maintenance_total) / full_wall_s, 0)
+          .add(static_cast<double>(incr.maintenance_total) / incr_wall_s, 0)
+          .add(full_wall_s, 3)
+          .add(incr_wall_s, 3)
+          .add(full_wall_s / incr_wall_s, 2)
+          .add(incr.nodes_refreshed_dirty)
+          .add(incr.nodes_skipped_clean)
+          .add(scanned == 0.0
+                   ? 0.0
+                   : static_cast<double>(incr.nodes_skipped_clean) / scanned,
+               3);
     }
   }
   report.section("Maintenance throughput under churn (2048-node start, " +
                      std::to_string(seconds) + " virtual seconds per cell)",
                  table);
+  report.section(
+      "Full vs incremental stabilization (same workload, same RNG stream)",
+      compare);
   report.note("\n(wall s and updates/s are wall-clock; not byte-stable run to\n"
               " run. The update counts and per-cause split are simulated and\n"
               " seed-determined — identical run to run, comparable across\n"
               " machines. Viceroy and CAN repair eagerly inside the join and\n"
               " leave paths, so their stabilize-refresh column is 0; Viceroy's\n"
-              " accounting is enabled by the churn driver.)\n");
+              " accounting is enabled by the churn driver. In the comparison\n"
+              " table 'skipped clean' counts nodes a full pass would have\n"
+              " refreshed for nothing — the skip fraction is the work the\n"
+              " dirty queue avoids.)\n");
   return 0;
 }

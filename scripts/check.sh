@@ -30,9 +30,11 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
 
 # Smoke the perf benches in the same (possibly sanitized) build: reduced
-# runs that still drive every overlay's lookup hot path and the parallel
-# bulk-stabilize pass, so TSan/ASan cover the scratch-reuse, dense-metrics,
-# and multi-threaded table-build machinery at real fan-out.
+# runs that still drive every overlay's lookup hot path, the parallel
+# bulk-stabilize pass, and the incremental dirty-queue drains (the
+# perf_maintenance smoke runs every cell in both stabilization modes), so
+# TSan/ASan cover the scratch-reuse, dense-metrics, and multi-threaded
+# table-build machinery at real fan-out.
 CYCLOID_BENCH_PERF_MAX_NODES=2048 \
 CYCLOID_BENCH_PERF_LOOKUPS=4096 \
   "$build_dir/bench/perf_lookup_throughput" > /dev/null

@@ -11,8 +11,10 @@
 # Extra arguments are passed to all three bench binaries. The JSON mirrors
 # the printed tables (bench::Report --json): lookups/sec per overlay for the
 # throughput suite, eager vs bulk build times (1 and N stabilize threads)
-# for the construction suite, and maintenance updates/sec with the per-cause
-# split under the Fig. 12 churn workload for the maintenance suite.
+# for the construction suite, and — for the maintenance suite — updates/sec
+# with the per-cause split under the Fig. 12 churn workload plus the
+# full-vs-incremental stabilization comparison (speedup and the fraction of
+# per-drain scans the dirty queue skipped as clean).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

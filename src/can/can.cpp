@@ -73,6 +73,18 @@ class CanMaintenancePolicy final : public dht::MaintenancePolicy {
     if (CanNode* state = net_.find(node)) net_.coalesce(*state);
   }
 
+  void dirty(dht::MembershipEvent, NodeHandle node) override {
+    // Adjacency and zone ownership are repaired eagerly; refresh only
+    // coalesces a node's own zone list. The only zone lists an event
+    // changes are the subject's and its neighbours' (the split owner on a
+    // join, the takeover heir on a departure are both adjacent), so mark
+    // exactly that patch.
+    const CanNode* state = net_.find(node);
+    CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
+    net_.mark_dirty(node);
+    for (const NodeHandle n : state->neighbors) net_.mark_dirty(n);
+  }
+
  private:
   CanNetwork& net_;
 };

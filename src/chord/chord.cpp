@@ -64,7 +64,61 @@ class ChordMaintenancePolicy final : public dht::MaintenancePolicy {
     net_.compute_state(*state);
   }
 
+  void dirty(dht::MembershipEvent event, NodeHandle node) override {
+    const ChordNode* state = net_.find(node);
+    CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
+    const std::uint64_t id = state->id;
+    if (net_.ring_.size() <= 1) return;  // nobody else references this node
+
+    // Ring structure (predecessor + successor lists): joins and graceful
+    // single leaves repair it eagerly via refresh_ring_around, and a mass
+    // graceful departure rebuilds it for every survivor — only a silent
+    // vanish leaves it stale. Mark the same neighbourhood the graceful
+    // repair walks: successor_list_length + 1 predecessors plus the strict
+    // successor.
+    if (event == dht::MembershipEvent::kVanish) {
+      std::uint64_t cursor = id;
+      for (int i = 0; i <= net_.successor_list_length_; ++i) {
+        const NodeHandle h = net_.predecessor_of(cursor);
+        net_.mark_dirty(h);
+        cursor = h;  // Chord handles are ids
+      }
+      net_.mark_dirty(net_.successor_of((id + 1) % net_.space_size_));
+    }
+
+    // Fingers are never eagerly repaired, for any event. X.finger[i] =
+    // successor_of(X.id + 2^i) changes exactly when X.id + 2^i lies in
+    // (pred(J), J] — the key slice this event moves between J and its
+    // successor — so mark the ring members in (pred(J) - 2^i, J - 2^i].
+    const std::uint64_t pred = net_.predecessor_of(id);
+    const std::uint64_t space = net_.space_size_;
+    for (int i = 0; i < net_.bits_; ++i) {
+      const std::uint64_t step = 1ULL << i;
+      mark_members((pred + space - step) % space,
+                   (id + space - step) % space);
+    }
+  }
+
  private:
+  /// Mark every ring member whose id lies in the circular interval
+  /// (lo, hi].
+  void mark_members(std::uint64_t lo, std::uint64_t hi) {
+    const auto& ring = net_.ring_;
+    if (lo < hi) {
+      for (auto it = ring.upper_bound(lo); it != ring.end() && it->first <= hi;
+           ++it) {
+        net_.mark_dirty(it->second);
+      }
+    } else {
+      for (auto it = ring.upper_bound(lo); it != ring.end(); ++it) {
+        net_.mark_dirty(it->second);
+      }
+      for (auto it = ring.begin(); it != ring.end() && it->first <= hi; ++it) {
+        net_.mark_dirty(it->second);
+      }
+    }
+  }
+
   ChordNetwork& net_;
 };
 

@@ -64,7 +64,117 @@ class CycloidMaintenancePolicy final : public dht::MaintenancePolicy {
     net_.compute_leaf_sets(*state);
   }
 
+  void dirty(dht::MembershipEvent event, NodeHandle node) override {
+    const CycloidNode* state = net_.find(node);
+    CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
+    const CccId id = state->id;
+
+    // Leaf sets: on_join and on_graceful_leave run refresh_leafsets_around
+    // (exact recompute of every affected cycle) and repair_after_mass_leave
+    // recomputes all leaf sets, so only a silent vanish leaves leaf sets
+    // stale — mark the cycles the post-unlink repair walk would touch.
+    if (event == dht::MembershipEvent::kVanish) {
+      mark_affected_cycles(id.cubical);
+    }
+
+    // Routing tables: a node at cyclic level m reads by_level_[m-1], so a
+    // change at (cubical, cyclic k) perturbs only level k + 1 — for every
+    // event, graceful or not (cubical/cyclic entries are never eagerly
+    // repaired).
+    mark_routing_referencers(id, event == dht::MembershipEvent::kJoin);
+  }
+
  private:
+  void mark_cycle(std::uint64_t cubical) {
+    const auto it = net_.cycles_.find(cubical);
+    if (it == net_.cycles_.end()) return;
+    for (const auto& [cyclic, handle] : it->second) net_.mark_dirty(handle);
+  }
+
+  /// Mark every member of the cycles whose leaf sets can reference the
+  /// change at `cubical`: that cycle plus leaf_width populated cycles on
+  /// each side — the same walk refresh_leafsets_around repairs, taken here
+  /// before the victim is unlinked.
+  void mark_affected_cycles(std::uint64_t cubical) {
+    if (net_.cycles_.empty()) return;
+    std::vector<std::uint64_t> affected;
+    if (net_.cycles_.contains(cubical)) affected.push_back(cubical);
+    std::uint64_t walk = cubical;
+    for (int i = 0; i < net_.leaf_width_; ++i) {
+      walk = net_.preceding_cycle(walk);
+      affected.push_back(walk);
+    }
+    walk = cubical;
+    for (int i = 0; i < net_.leaf_width_; ++i) {
+      walk = net_.succeeding_cycle(walk);
+      affected.push_back(walk);
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    for (const std::uint64_t c : affected) mark_cycle(c);
+  }
+
+  /// Mark the level-(k+1) nodes whose cubical or cyclic routing entries the
+  /// change at `id` = (cubical a, cyclic k) can perturb. Exact inversion of
+  /// compute_routing_table's candidate windows:
+  ///  - cubical: X with cubical x scans [flip_bit(x,m) & ~(2^m-1), +2^m), so
+  ///    the affected x lie in the mirror window around flip_bit(a,m); a
+  ///    departure matters only to X whose stored entry is the victim, a join
+  ///    only to X the newcomer ties-or-beats on suffix gap (proximity
+  ///    selection marks the whole window — the latency argmin is not
+  ///    predictable from stored state).
+  ///  - cyclic: X takes the nearest level-k cubical at-or-after/at-or-before
+  ///    its own, so only X strictly between a's level-k neighbors (clamped
+  ///    to the range ends) can gain or lose the entry.
+  void mark_routing_referencers(const CccId& id, bool join) {
+    const std::size_t m = static_cast<std::size_t>(id.cyclic) + 1;
+    if (m >= net_.by_level_.size()) return;
+    const auto& level = net_.by_level_[m];  // potential referencers
+    if (level.empty()) return;
+    const auto& feeder = net_.by_level_[id.cyclic];
+    const NodeHandle changed = CycloidNetwork::handle_of(id);
+    const bool proximity =
+        net_.selection_ == NeighborSelection::kProximity;
+
+    const std::uint64_t window = 1ULL << m;
+    const std::uint64_t base =
+        util::flip_bit(id.cubical, static_cast<int>(m)) & ~(window - 1);
+    for (auto it = level.lower_bound(base);
+         it != level.end() && it->first < base + window; ++it) {
+      const CycloidNode* ref = net_.find(it->second);
+      CYCLOID_ASSERT(ref != nullptr);
+      if (!join) {
+        // Removing a non-selected candidate never changes the argmin.
+        if (ref->cubical_neighbor == changed) net_.mark_dirty(it->second);
+        continue;
+      }
+      if (proximity || ref->cubical_neighbor == kNoNode) {
+        net_.mark_dirty(it->second);
+        continue;
+      }
+      const std::uint64_t preferred =
+          util::flip_bit(it->first, static_cast<int>(m));
+      const auto gap = [preferred](std::uint64_t c) {
+        return c >= preferred ? c - preferred : preferred - c;
+      };
+      const std::uint64_t stored =
+          CycloidNetwork::id_of(ref->cubical_neighbor).cubical;
+      if (gap(id.cubical) <= gap(stored)) net_.mark_dirty(it->second);
+    }
+
+    // Cyclic neighbors. `feeder` still contains `a` itself (post-join /
+    // pre-unlink); the strict bounds exclude it.
+    const auto at = feeder.lower_bound(id.cubical);
+    const bool has_lo = at != feeder.begin();
+    const auto past = feeder.upper_bound(id.cubical);
+    const bool has_hi = past != feeder.end();
+    auto start = has_lo ? level.upper_bound(std::prev(at)->first)
+                        : level.begin();
+    const auto stop = has_hi ? level.lower_bound(past->first) : level.end();
+    for (; start != stop; ++start) net_.mark_dirty(start->second);
+  }
+
   CycloidNetwork& net_;
 };
 

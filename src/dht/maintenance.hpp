@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "dht/types.hpp"
@@ -62,6 +63,17 @@ std::string maintenance_cause_name(MaintenanceCause cause);
 
 /// Per-cause update counts (indexed by MaintenanceCause).
 using MaintenanceBreakdown = std::array<std::uint64_t, kMaintenanceCauses>;
+
+/// The membership event a dirty() hook is being asked about. Mirrors the
+/// MaintenancePolicy entry points one-to-one so a policy can distinguish
+/// "eagerly repaired" events (whose dirty sets are small) from silent
+/// departures (whose stale fan-in must be enumerated conservatively).
+enum class MembershipEvent {
+  kJoin = 0,          ///< on_join is about to complete for this node
+  kGracefulLeave = 1, ///< on_graceful_leave is about to run (node still live)
+  kVanish = 2,        ///< on_vanish is about to run (node still live)
+  kMassLeave = 3,     ///< on_mass_leave per-victim step (node still live)
+};
 
 /// Which departure semantics a fail_* call actually executed. Ungraceful
 /// requests degrade to graceful on overlays whose maintenance model repairs
@@ -205,6 +217,27 @@ class MaintenancePolicy {
   virtual bool repairs_eagerly() const { return false; }
   virtual void on_mass_leave(NodeHandle node) { on_vanish(node); }
   virtual void repair_after_mass_leave() {}
+
+  /// Enqueue (via Maintainer::mark_dirty) every node whose refresh() output
+  /// changes because of this membership event — the dirty-neighborhood hook
+  /// behind run_incremental (DESIGN.md §11).
+  ///
+  /// Contract:
+  ///  - Called only while dirty tracking is enabled; for kJoin it runs after
+  ///    on_join completed, for the three departure events it runs before the
+  ///    departure hook, with `node` still a live member (so the policy can
+  ///    still read its links to enumerate fan-in).
+  ///  - The hook must be read-only on overlay state, draw no randomness, and
+  ///    may over-enqueue (refresh of a clean node is a no-op) but never
+  ///    under-enqueue: any node not enqueued here — and not already dirty
+  ///    from an earlier event — is skipped by run_incremental and must equal
+  ///    its full-pass state bit for bit.
+  ///  - The default is a no-op, correct only for overlays whose refresh()
+  ///    reads nothing but eagerly-maintained state (Viceroy).
+  virtual void dirty(MembershipEvent event, NodeHandle node) {
+    (void)event;
+    (void)node;
+  }
 };
 
 /// The engine. DhtNetwork owns one and delegates its entire non-join
@@ -243,7 +276,50 @@ class Maintainer {
 
   /// Refresh every node, fanned over `threads` workers against frozen
   /// membership. State and metrics are identical at any thread count.
+  /// Leaves no node dirty: the queue is cleared.
   void run_pass(int threads);
+
+  // Incremental stabilization --------------------------------------------
+
+  /// Enable/disable dirty-neighborhood tracking. While enabled, every
+  /// membership event routes through the policy's dirty() hook and
+  /// run_incremental refreshes only the enqueued nodes. Enabling starts
+  /// from an empty queue; pair it with a full pass (or a fresh build) so no
+  /// pre-existing staleness is silently skipped.
+  void set_dirty_tracking(bool enabled) {
+    dirty_tracking_ = enabled;
+    clear_dirty();
+  }
+  bool dirty_tracking() const noexcept { return dirty_tracking_; }
+
+  /// Record `node` as needing a refresh on the next run_incremental.
+  /// Deduplicated; no-op while tracking is disabled or for kNoNode.
+  /// Policies call this from dirty(); the Koorde network also calls it when
+  /// absorb() applies lookup-learned repairs.
+  void mark_dirty(NodeHandle node) {
+    if (!dirty_tracking_ || node == kNoNode) return;
+    if (dirty_set_.insert(node).second) dirty_queue_.push_back(node);
+  }
+
+  /// Drain the dirty queue: refresh exactly the enqueued nodes that are
+  /// still live, fanned over `threads` workers against frozen membership
+  /// under the same determinism contract as run_pass (the drain order is a
+  /// sorted slot snapshot, so state and metrics are identical at any thread
+  /// count). Nodes left clean are counted into nodes_skipped_clean().
+  void run_incremental(int threads);
+
+  /// Handles currently queued for the next incremental drain.
+  std::size_t dirty_count() const noexcept { return dirty_queue_.size(); }
+
+  /// Cumulative count of live nodes a run_incremental did NOT refresh
+  /// because they were clean (the work a full pass would have wasted).
+  std::uint64_t nodes_skipped_clean() const noexcept {
+    return nodes_skipped_clean_;
+  }
+  /// Cumulative count of dirty nodes run_incremental refreshed.
+  std::uint64_t nodes_refreshed_dirty() const noexcept {
+    return nodes_refreshed_dirty_;
+  }
 
   // Bookkeeping ----------------------------------------------------------
 
@@ -265,7 +341,11 @@ class Maintainer {
   const MaintenanceMetrics& metrics() const noexcept { return metrics_; }
   /// Mutable plane access for DhtNetwork's registry hooks (slot movement).
   MaintenanceMetrics& metrics_for_registry() noexcept { return metrics_; }
-  void reset() { metrics_.reset(); }
+  void reset() {
+    metrics_.reset();
+    nodes_skipped_clean_ = 0;
+    nodes_refreshed_dirty_ = 0;
+  }
 
   /// RAII cause scope; entry points install these around policy calls, and
   /// DhtNetwork::absorb wraps apply_repairs in a kLookupPromotion scope.
@@ -290,6 +370,17 @@ class Maintainer {
     return *policy_;
   }
 
+  void clear_dirty() {
+    dirty_queue_.clear();
+    dirty_set_.clear();
+  }
+
+  /// Route a membership event through the policy's dirty() hook (no-op when
+  /// tracking is off).
+  void note_event(MembershipEvent event, NodeHandle node) {
+    if (dirty_tracking_) policy().dirty(event, node);
+  }
+
   DhtNetwork& net_;
   std::unique_ptr<MaintenancePolicy> policy_;
   MaintenanceMetrics metrics_;
@@ -299,6 +390,14 @@ class Maintainer {
   MaintenanceCause cause_ = MaintenanceCause::kJoinRepair;
   DepartureSemantics last_semantics_ = DepartureSemantics::kNone;
   bool stale_ = false;
+  // Dirty-neighborhood plane: insertion-ordered queue + dedupe set. The
+  // queue order never reaches refresh (run_incremental drains a sorted slot
+  // snapshot), it only bounds memory via dedupe.
+  bool dirty_tracking_ = false;
+  std::vector<NodeHandle> dirty_queue_;
+  std::unordered_set<NodeHandle> dirty_set_;
+  std::uint64_t nodes_skipped_clean_ = 0;
+  std::uint64_t nodes_refreshed_dirty_ = 0;
 };
 
 }  // namespace cycloid::dht

@@ -223,6 +223,38 @@ class DhtNetwork {
   /// identical at any thread count (DESIGN.md §9/§10).
   void stabilize_all(int threads = 1) { maintainer_.run_pass(threads); }
 
+  // Incremental stabilization --------------------------------------------
+  // With dirty tracking enabled, every membership event routes through the
+  // policy's dirty() hook, which enqueues exactly the nodes whose refresh
+  // output the event changed; stabilize_dirty then refreshes only those
+  // (same determinism contract as stabilize_all, DESIGN.md §11). Enable on
+  // a freshly built or just-stabilized network so no pre-existing staleness
+  // is silently skipped.
+
+  /// Enable/disable dirty-neighborhood tracking (starts from an empty
+  /// queue).
+  void set_dirty_tracking(bool enabled) {
+    maintainer_.set_dirty_tracking(enabled);
+  }
+  bool dirty_tracking() const noexcept { return maintainer_.dirty_tracking(); }
+
+  /// Drain the dirty queue: refresh exactly the still-live enqueued nodes,
+  /// fanned over `threads` workers. State and metrics are identical at any
+  /// thread count, and the resulting state matches a full stabilize_all
+  /// bit for bit (pinned in tests/maintenance_test.cpp).
+  void stabilize_dirty(int threads = 1) { maintainer_.run_incremental(threads); }
+
+  /// Handles currently queued for the next stabilize_dirty.
+  std::size_t dirty_count() const noexcept { return maintainer_.dirty_count(); }
+  /// Cumulative live nodes stabilize_dirty skipped because they were clean.
+  std::uint64_t nodes_skipped_clean() const noexcept {
+    return maintainer_.nodes_skipped_clean();
+  }
+  /// Cumulative dirty nodes stabilize_dirty refreshed.
+  std::uint64_t nodes_refreshed_dirty() const noexcept {
+    return maintainer_.nodes_refreshed_dirty();
+  }
+
   // Bulk construction ----------------------------------------------------
   // Builders populating a network from scratch bracket their insert loop
   // with begin_bulk()/finish_bulk(threads). Under bulk mode an overlay's
@@ -343,6 +375,12 @@ class DhtNetwork {
   void note_maintenance(NodeHandle node, std::uint64_t updates = 1) {
     maintainer_.charge(slot_of(node), updates);
   }
+
+  /// Queue `node` for the next stabilize_dirty (no-op while dirty tracking
+  /// is off). Policies call this from their dirty() hooks; overlays whose
+  /// state mutates outside membership events (Koorde's lookup-learned
+  /// promotions in apply_repairs) call it directly.
+  void mark_dirty(NodeHandle node) { maintainer_.mark_dirty(node); }
 
   MetricsRegistry metrics_;
 

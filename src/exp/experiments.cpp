@@ -218,7 +218,8 @@ std::vector<UngracefulRow> run_ungraceful_experiment(
 
 ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
                               double join_leave_rate, double duration,
-                              double stabilize_period, std::uint64_t seed) {
+                              double stabilize_period, std::uint64_t seed,
+                              StabilizeMode mode) {
   const std::uint64_t s =
       cell_seed(seed, static_cast<std::uint64_t>(kind),
                 static_cast<std::uint64_t>(join_leave_rate * 1000.0));
@@ -230,6 +231,8 @@ ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
     v->enable_maintenance_accounting(true);
   }
   net->reset_maintenance();  // measure churn-driven maintenance, not build
+  const bool incremental = mode == StabilizeMode::kIncremental;
+  if (incremental) net->set_dirty_tracking(true);
   util::Rng rng(s + 1);
 
   sim::EventQueue queue;
@@ -251,11 +254,22 @@ ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
       if (const auto self = weak.lock()) (*self)(h);
     });
   };
+  // Under kIncremental the per-node timers are replaced by one periodic
+  // dirty-queue drain — but the phase draws still happen, so both modes
+  // consume the identical RNG stream and see the same join/leave/lookup
+  // sequence.
   const auto arm_stabilizer = [&](dht::NodeHandle h, double phase) {
+    if (incremental) return;
     queue.schedule_in(phase, [stabilizer, h] { (*stabilizer)(h); });
   };
   for (const dht::NodeHandle h : net->node_handles()) {
     arm_stabilizer(h, rng.uniform01() * stabilize_period);
+  }
+  std::shared_ptr<sim::PeriodicProcess> drain_proc;
+  if (incremental) {
+    drain_proc = sim::PeriodicProcess::start(
+        queue, stabilize_period, stabilize_period,
+        [&] { net->stabilize_dirty(); });
   }
 
   // Poisson lookups at 1 per second (paper Sec. 4.4).
@@ -295,6 +309,7 @@ ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
   lookup_proc->stop();
   if (join_proc) join_proc->stop();
   if (leave_proc) leave_proc->stop();
+  if (drain_proc) drain_proc->stop();
 
   ChurnRow row;
   row.kind = kind;
@@ -308,6 +323,8 @@ ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
   row.final_size = net->node_count();
   row.maintenance_total = net->maintenance_updates();
   row.maintenance_by_cause = net->maintenance_by_cause();
+  row.nodes_refreshed_dirty = net->nodes_refreshed_dirty();
+  row.nodes_skipped_clean = net->nodes_skipped_clean();
   return row;
 }
 

@@ -122,6 +122,18 @@ std::vector<UngracefulRow> run_ungraceful_experiment(
 
 // --- Fig. 12 / Table 5: lookups under continuous churn ---------------------
 
+/// How the churn driver stabilizes. kFull is the paper's model — every node
+/// refreshes itself on its own timer, whether or not anything near it
+/// changed. kIncremental enables the engine's dirty-neighborhood tracking
+/// and replaces the per-node timers with one periodic stabilize_dirty()
+/// drain that refreshes only the nodes membership events actually touched.
+/// Both modes draw the identical RNG sequence, so the join/leave/lookup
+/// streams — and therefore the workloads being compared — match exactly.
+enum class StabilizeMode {
+  kFull = 0,
+  kIncremental = 1,
+};
+
 struct ChurnRow {
   OverlayKind kind;
   double join_leave_rate = 0.0;  // R: joins/sec and leaves/sec each
@@ -137,6 +149,11 @@ struct ChurnRow {
   /// refresh / lookup-learned promotion).
   std::uint64_t maintenance_total = 0;
   dht::MaintenanceBreakdown maintenance_by_cause{};
+  /// Incremental-mode drain counters (zero under StabilizeMode::kFull):
+  /// dirty nodes the drains refreshed and clean nodes they skipped — the
+  /// per-pass work a full stabilization would have wasted.
+  std::uint64_t nodes_refreshed_dirty = 0;
+  std::uint64_t nodes_skipped_clean = 0;
 };
 
 /// Start a 2048-node network; Poisson lookups at 1/s, Poisson joins and
@@ -145,7 +162,8 @@ struct ChurnRow {
 /// `duration` virtual seconds.
 ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
                               double join_leave_rate, double duration,
-                              double stabilize_period, std::uint64_t seed);
+                              double stabilize_period, std::uint64_t seed,
+                              StabilizeMode mode = StabilizeMode::kFull);
 
 // --- Figs. 13/14: identifier-space sparsity ---------------------------------
 

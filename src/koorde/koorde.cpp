@@ -50,7 +50,74 @@ class KoordeMaintenancePolicy final : public dht::MaintenancePolicy {
     net_.compute_state(*state);
   }
 
+  void dirty(dht::MembershipEvent event, NodeHandle node) override {
+    const KoordeNode* state = net_.find(node);
+    CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
+    const std::uint64_t id = state->id;
+    if (net_.ring_.size() <= 1) return;  // nobody else references this node
+
+    // Ring structure: eagerly repaired for joins and graceful departures
+    // (refresh_ring_around / repair_after_mass_leave); only a vanish leaves
+    // it stale — mark the neighbourhood the graceful repair would walk.
+    if (event == dht::MembershipEvent::kVanish) {
+      std::uint64_t cursor = id;
+      for (int i = 0; i <= net_.successor_list_length_; ++i) {
+        const NodeHandle h = net_.predecessor_of(cursor);
+        net_.mark_dirty(h);
+        cursor = h;  // Koorde handles are ids
+      }
+      net_.mark_dirty(net_.successor_of((id + 1) % net_.space_size_));
+    }
+
+    // De Bruijn pointers + backups are never eagerly repaired, for any
+    // event. X's structure is the backup_count + 1 members at-or-before
+    // t = (X.id << shift_bits) mod space walking backwards, so it contains
+    // J exactly when t lies in [J, hi) — hi being the (backup_count + 1)-th
+    // member strictly after J.
+    std::uint64_t hi = id;
+    for (int b = 0; b <= net_.backup_count_; ++b) {
+      hi = net_.successor_of((hi + 1) % net_.space_size_);
+      if (hi == id) {  // walked the full (tiny) ring: everyone references J
+        for (const auto& [rid, handle] : net_.ring_) net_.mark_dirty(handle);
+        return;
+      }
+    }
+    mark_preimage(id, hi);
+  }
+
  private:
+  /// Mark every ring member X whose de Bruijn target (X.id << shift_bits)
+  /// mod space lies in the circular interval [lo, hi). Targets are exactly
+  /// the multiples of 2^shift_bits with the top shift_bits of X.id dropped,
+  /// so each non-wrapping piece [a, b) inverts to one X.id range
+  /// [ceil(a/2^s), ceil(b/2^s)) per choice of the dropped top digit.
+  void mark_preimage(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t space = net_.space_size_;
+    const auto mark_piece = [&](std::uint64_t a, std::uint64_t b) {
+      if (a >= b) return;
+      const int s = net_.shift_bits_;
+      const std::uint64_t r_lo = (a + (1ULL << s) - 1) >> s;
+      const std::uint64_t r_hi = (b + (1ULL << s) - 1) >> s;
+      if (r_lo >= r_hi) return;
+      const std::uint64_t digits = 1ULL << s;
+      const std::uint64_t stride = space >> s;
+      for (std::uint64_t c = 0; c < digits; ++c) {
+        const std::uint64_t from = c * stride + r_lo;
+        const std::uint64_t to = c * stride + r_hi;
+        for (auto it = net_.ring_.lower_bound(from);
+             it != net_.ring_.end() && it->first < to; ++it) {
+          net_.mark_dirty(it->second);
+        }
+      }
+    };
+    if (lo < hi) {
+      mark_piece(lo, hi);
+    } else {
+      mark_piece(lo, space);
+      mark_piece(0, hi);
+    }
+  }
+
   KoordeNetwork& net_;
 };
 
@@ -358,12 +425,17 @@ void KoordeNetwork::apply_repairs(const dht::LookupMetrics& batch) {
     node->de_bruijn = promoted;  // promote; consumed entries are dropped
     node->db_backups.erase(node->db_backups.begin(), it + 1);
     note_maintenance(handle);
+    // Lookup-learned mutation outside any membership event: a batch can be
+    // absorbed after the event that caused the damage was already drained,
+    // so re-queue the node for the next incremental pass.
+    mark_dirty(handle);
   }
   for (const NodeHandle handle : batch.broken_links()) {
     KoordeNode* node = find(handle);
     if (node == nullptr || node->db_broken) continue;
     node->db_broken = true;
     note_maintenance(handle);
+    mark_dirty(handle);
   }
 }
 

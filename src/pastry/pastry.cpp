@@ -58,7 +58,123 @@ class PastryMaintenancePolicy final : public dht::MaintenancePolicy {
     net_.compute_neighborhood(*state);
   }
 
+  void dirty(dht::MembershipEvent event, NodeHandle node) override {
+    const PastryNode* state = net_.find(node);
+    CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
+    if (net_.ring_.size() <= 1) return;  // nobody else references this node
+
+    // Leaf sets: eagerly repaired for joins, graceful leaves and mass
+    // departures (refresh_leafsets_around / repair_after_mass_leave); only
+    // a silent vanish leaves them stale — mark the nodes the repair walk
+    // would visit.
+    if (event == dht::MembershipEvent::kVanish) mark_leaf_neighbors(state->id);
+
+    // Routing tables and neighborhood sets are never eagerly repaired, for
+    // any event.
+    const bool join = event == dht::MembershipEvent::kJoin;
+    mark_routing_referencers(state->id, node, join);
+    mark_neighborhood_referencers(*state, node, join);
+  }
+
  private:
+  /// leaf_half_ + 1 ring neighbours on each side of `id` (the same walk
+  /// refresh_leafsets_around repairs), taken pre-unlink.
+  void mark_leaf_neighbors(std::uint64_t id) {
+    std::uint64_t cursor = id;
+    for (int i = 0; i < net_.leaf_half_ + 1; ++i) {
+      const NodeHandle h = net_.predecessor_of(cursor);
+      if (h == id) break;  // wrapped around a tiny ring
+      net_.mark_dirty(h);
+      cursor = h;  // Pastry handles are ids
+    }
+    cursor = id;
+    for (int i = 0; i < net_.leaf_half_ + 1; ++i) {
+      const NodeHandle h = net_.successor_of((cursor + 1) % net_.space_size_);
+      if (h == id) break;
+      net_.mark_dirty(h);
+      cursor = h;
+    }
+  }
+
+  /// X can reference the change at J in routing row r only when X shares
+  /// J's first r digits and differs at digit r — the sibling sub-windows of
+  /// J's prefix window. Departures matter only to X whose stored entry is
+  /// the victim (removing a non-selected candidate never changes the
+  /// argmin); joins only to X the newcomer ties-or-beats on suffix gap.
+  void mark_routing_referencers(std::uint64_t id, NodeHandle changed,
+                                bool join) {
+    const auto& ring = net_.ring_;
+    for (int row = 0; row < net_.rows_; ++row) {
+      const int col = net_.digit(id, row);
+      const int suffix_bits =
+          net_.bits_ - (row + 1) * net_.bits_per_digit_;
+      const std::uint64_t span = 1ULL << (suffix_bits + net_.bits_per_digit_);
+      const std::uint64_t start = (id / span) * span;
+      for (auto it = ring.lower_bound(start);
+           it != ring.end() && it->first < start + span; ++it) {
+        const std::uint64_t x = it->first;
+        if (net_.digit(x, row) == col) continue;  // deeper row (and J itself)
+        const PastryNode* ref = net_.find(it->second);
+        CYCLOID_ASSERT(ref != nullptr);
+        const auto& table = ref->routing_table;
+        if (table.size() != static_cast<std::size_t>(net_.rows_)) {
+          net_.mark_dirty(it->second);  // unshaped table: be conservative
+          continue;
+        }
+        const NodeHandle entry = table[static_cast<std::size_t>(row)]
+                                      [static_cast<std::size_t>(col)];
+        if (!join) {
+          if (entry == changed) net_.mark_dirty(it->second);
+          continue;
+        }
+        if (entry == kNoNode) {
+          net_.mark_dirty(it->second);
+          continue;
+        }
+        const std::uint64_t window = 1ULL << suffix_bits;
+        const std::uint64_t base =
+            ((x / span) * span) |
+            (static_cast<std::uint64_t>(col) << suffix_bits);
+        const std::uint64_t preferred = base | (x & (window - 1));
+        const auto gap = [preferred](std::uint64_t c) {
+          return c >= preferred ? c - preferred : preferred - c;
+        };
+        if (gap(id) <= gap(entry)) net_.mark_dirty(it->second);
+      }
+    }
+  }
+
+  /// X's neighborhood (the |M| proximity-nearest nodes) changes on a
+  /// departure only when it held the victim, and on a join only when the
+  /// set is not full yet or the newcomer ties-or-beats the current
+  /// farthest member.
+  void mark_neighborhood_referencers(const PastryNode& state,
+                                     NodeHandle changed, bool join) {
+    if (net_.neighborhood_size_ == 0) return;
+    const std::size_t m =
+        static_cast<std::size_t>(net_.neighborhood_size_);
+    for (const auto& [handle, other] : net_.nodes_) {
+      if (handle == changed) continue;
+      if (!join) {
+        if (std::find(other->neighborhood.begin(), other->neighborhood.end(),
+                      changed) != other->neighborhood.end()) {
+          net_.mark_dirty(handle);
+        }
+        continue;
+      }
+      if (other->neighborhood.size() < m) {
+        net_.mark_dirty(handle);
+        continue;
+      }
+      const PastryNode* farthest = net_.find(other->neighborhood.back());
+      if (farthest == nullptr ||  // stale entry: be conservative
+          net_.proximity(*other, state) <=
+              net_.proximity(*other, *farthest)) {
+        net_.mark_dirty(handle);
+      }
+    }
+  }
+
   PastryNetwork& net_;
 };
 

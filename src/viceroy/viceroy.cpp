@@ -62,6 +62,11 @@ class ViceroyMaintenancePolicy final : public dht::MaintenancePolicy {
     // Links are maintained eagerly on every join/leave; nothing to refresh.
   }
 
+  // dirty() keeps the base no-op: Viceroy stores no derived per-node state
+  // at all (level links resolve against the live membership on every read),
+  // so no membership event can leave any node's refresh output stale and
+  // there is never anything to enqueue for run_incremental.
+
  private:
   ViceroyNetwork& net_;
 };

@@ -12,6 +12,7 @@
 #include "dht/store.hpp"
 #include "exp/overlays.hpp"
 #include "hash/keys.hpp"
+#include "overlay_state_compare.hpp"
 #include "util/rng.hpp"
 
 namespace cycloid::exp {
@@ -118,6 +119,80 @@ TEST_P(FuzzTest, StoreModelCheck) {
     }
   }
   EXPECT_EQ(store.key_count(), model.size());
+}
+
+TEST_P(FuzzTest, IncrementalDrainsMatchAFullPassShadow) {
+  // Random soup of joins, graceful/ungraceful leaves, mass failures, and
+  // lookups, driven IDENTICALLY into two networks: the primary tracks
+  // dirty neighborhoods and drains with stabilize_dirty (alternating
+  // thread counts), the shadow drains with a full stabilize_all at the
+  // same points. After every drain both must be at the same fixpoint —
+  // any under-enqueued dirty hook shows up as a field diff here.
+  auto primary = make_sparse_overlay(GetParam(), 7, 120, 0xd117);
+  auto shadow = make_sparse_overlay(GetParam(), 7, 120, 0xd117);
+  primary->set_dirty_tracking(true);
+  util::Rng rng(0x5eed);
+
+  for (int op = 0; op < 300; ++op) {
+    switch (rng.below(8)) {
+      case 0:
+      case 1: {
+        const std::uint64_t seed = rng();
+        primary->join(seed);
+        shadow->join(seed);
+        break;
+      }
+      case 2:
+        if (primary->node_count() > 16) {
+          const auto idx =
+              static_cast<std::size_t>(rng.below(primary->node_count()));
+          const NodeHandle victim = primary->node_handles()[idx];
+          primary->leave(victim);
+          shadow->leave(victim);
+        }
+        break;
+      case 3:
+        if (op % 41 == 0 && primary->node_count() > 64) {
+          const std::uint64_t seed = rng();
+          util::Rng ra(seed);
+          util::Rng rb(seed);
+          primary->fail_ungraceful(0.1, ra);
+          shadow->fail_ungraceful(0.1, rb);
+        }
+        break;
+      case 4:
+        if (op % 43 == 0 && primary->node_count() > 64) {
+          const std::uint64_t seed = rng();
+          util::Rng ra(seed);
+          util::Rng rb(seed);
+          primary->fail_simultaneously(0.1, ra);
+          shadow->fail_simultaneously(0.1, rb);
+        }
+        break;
+      case 5: {
+        primary->stabilize_dirty(op % 2 == 0 ? 1 : 4);
+        shadow->stabilize_all();
+        expect_same_state(GetParam(), *primary, *shadow);
+        break;
+      }
+      default: {
+        // Identical mutating lookup on both: the networks are in identical
+        // states, so the routes — and Koorde's absorbed lookup-learned
+        // promotions — match too.
+        const auto idx =
+            static_cast<std::size_t>(rng.below(primary->node_count()));
+        const NodeHandle from = primary->node_handles()[idx];
+        const dht::KeyHash key = rng();
+        primary->lookup(from, key);
+        shadow->lookup(from, key);
+        break;
+      }
+    }
+  }
+  primary->stabilize_dirty(2);
+  shadow->stabilize_all();
+  expect_same_state(GetParam(), *primary, *shadow);
+  EXPECT_GT(primary->nodes_skipped_clean(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOverlays, FuzzTest,
