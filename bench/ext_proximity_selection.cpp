@@ -43,13 +43,24 @@ int main(int argc, char** argv) {
         hops.add(result.hops);
         latency.add(net->route_latency(from, trace));
       }
-      table.row()
-          .add(net->node_count())
-          .add(selection == NeighborSelection::kProximity ? "proximity"
-                                                          : "suffix")
-          .add(hops.mean(), 2)
-          .add(latency.mean(), 3)
-          .add(latency.mean() / hops.mean(), 3);
+      util::Table& r = table.row()
+                           .add(net->node_count())
+                           .add(selection == NeighborSelection::kProximity
+                                    ? "proximity"
+                                    : "suffix");
+      // Guard degenerate cells: with CYCLOID_BENCH_PNS_LOOKUPS=0 the
+      // summaries are empty (mean() traps on an empty series by contract),
+      // and a zero-hop-only sample would divide by zero in latency/hop.
+      if (hops.empty()) {
+        r.add("n/a").add("n/a").add("n/a");
+      } else {
+        r.add(hops.mean(), 2).add(latency.mean(), 3);
+        if (hops.mean() == 0.0) {
+          r.add("n/a");
+        } else {
+          r.add(latency.mean() / hops.mean(), 3);
+        }
+      }
     }
   }
   report.section(

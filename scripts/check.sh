@@ -47,3 +47,10 @@ echo "perf_build smoke: OK"
 CYCLOID_BENCH_PERF_CHURN_SECONDS=30 \
   "$build_dir/bench/perf_maintenance" > /dev/null
 echo "perf_maintenance smoke: OK"
+
+# Proximity-policy smoke: every churn cell twice (suffix and proximity
+# selection, both stabilization modes), driving the proximity repair path
+# and the per-lookup route pricing under the sanitizer.
+CYCLOID_BENCH_PNS_CHURN_SECONDS=20 \
+  "$build_dir/bench/ext_proximity_churn" > /dev/null
+echo "ext_proximity_churn smoke: OK"

@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # Wall-clock performance track: build optimized and run the lookup
-# throughput, bulk-construction, and maintenance suites, writing
-# BENCH_lookups.json, BENCH_build.json, and BENCH_maintenance.json next to
-# the repo root.
+# throughput, bulk-construction, maintenance, and proximity-churn suites,
+# writing BENCH_lookups.json, BENCH_build.json, BENCH_maintenance.json, and
+# BENCH_proximity.json next to the repo root.
 #
 #   scripts/perf.sh                                    # full run (n up to 2^17)
 #   CYCLOID_BENCH_PERF_MAX_NODES=2048 scripts/perf.sh  # quick smoke
 #   CYCLOID_BENCH_PERF_CHURN_SECONDS=120 ...           # maintenance smoke
+#   CYCLOID_BENCH_PNS_CHURN_SECONDS=120 ...            # proximity smoke
 #
-# Extra arguments are passed to all three bench binaries. The JSON mirrors
+# Extra arguments are passed to all four bench binaries. The JSON mirrors
 # the printed tables (bench::Report --json): lookups/sec per overlay for the
 # throughput suite, eager vs bulk build times (1 and N stabilize threads)
-# for the construction suite, and — for the maintenance suite — updates/sec
+# for the construction suite, for the maintenance suite updates/sec
 # with the per-cause split under the Fig. 12 churn workload plus the
 # full-vs-incremental stabilization comparison (speedup and the fraction of
-# per-drain scans the dirty queue skipped as clean).
+# per-drain scans the dirty queue skipped as clean), and — for the
+# proximity suite — suffix vs proximity neighbour selection under the same
+# churn workload (mean hops and end-to-end route latency, both
+# stabilization modes).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,7 +27,7 @@ build_dir="build-perf"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
   --target perf_lookup_throughput --target perf_build \
-  --target perf_maintenance
+  --target perf_maintenance --target ext_proximity_churn
 
 "$build_dir/bench/perf_lookup_throughput" --json BENCH_lookups.json "$@"
 echo "wrote BENCH_lookups.json"
@@ -33,3 +37,6 @@ echo "wrote BENCH_build.json"
 
 "$build_dir/bench/perf_maintenance" --json BENCH_maintenance.json "$@"
 echo "wrote BENCH_maintenance.json"
+
+"$build_dir/bench/ext_proximity_churn" --json BENCH_proximity.json "$@"
+echo "wrote BENCH_proximity.json"

@@ -1,7 +1,6 @@
 #include "core/network.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <utility>
 
 #include "util/bits.hpp"
@@ -229,10 +228,6 @@ bool CycloidNetwork::insert(const CccId& id) {
 
   auto node = std::make_unique<CycloidNode>();
   node->id = id;
-  // Deterministic proximity coordinates (only the extension uses them).
-  std::uint64_t coord_seed = util::mix64(handle ^ 0xc0cac01aULL);
-  node->x = static_cast<double>(util::splitmix64(coord_seed) >> 11) * 0x1.0p-53;
-  node->y = static_cast<double>(util::splitmix64(coord_seed) >> 11) * 0x1.0p-53;
   nodes_.emplace(handle, std::move(node));
   ring_.emplace(space_.ring_position(id), handle);
   by_level_[id.cyclic].emplace(id.cubical, handle);
@@ -562,9 +557,8 @@ class CycloidStepPolicy final : public dht::StepPolicy {
     return 8 * net_.space().dimension() + 16;
   }
   bool track_visited() const override { return true; }
-  double link_latency(NodeHandle a, NodeHandle b) const override {
-    return net_.link_latency(a, b);
-  }
+  // link_latency: the StepPolicy default (the shared per-handle torus
+  // plane) is exactly Cycloid's model — no override needed.
 
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const CccSpace& space = net_.space();
@@ -714,30 +708,6 @@ dht::NodeHandle CycloidNetwork::join(std::uint64_t seed) {
   const CccId id = space_.id_from_hash(util::mix64(seed));
   if (!insert(id)) return kNoNode;
   return handle_of(id);
-}
-
-double CycloidNetwork::link_latency(NodeHandle a, NodeHandle b) const {
-  const CycloidNode* na = find(a);
-  const CycloidNode* nb = find(b);
-  CYCLOID_EXPECTS(na != nullptr && nb != nullptr);
-  const auto axis = [](double u, double v) {
-    const double d = u > v ? u - v : v - u;
-    return d > 0.5 ? 1.0 - d : d;
-  };
-  const double dx = axis(na->x, nb->x);
-  const double dy = axis(na->y, nb->y);
-  return std::sqrt(dx * dx + dy * dy);
-}
-
-double CycloidNetwork::route_latency(NodeHandle from,
-                                     const std::vector<RouteStep>& trace) const {
-  double total = 0.0;
-  NodeHandle prev = from;
-  for (const RouteStep& step : trace) {
-    total += link_latency(prev, step.node);
-    prev = step.node;
-  }
-  return total;
 }
 
 }  // namespace cycloid::ccc

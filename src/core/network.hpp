@@ -18,6 +18,7 @@
 
 #include "core/id.hpp"
 #include "core/node.hpp"
+#include "dht/latency.hpp"
 #include "dht/network.hpp"
 #include "util/rng.hpp"
 
@@ -26,15 +27,9 @@ namespace cycloid::ccc {
 /// How the cubical neighbour is chosen among the nodes matching its
 /// pattern (the pattern leaves the low bits free, so there are many
 /// candidates — "the crucial difference from the traditional hypercube
-/// connection pattern", paper Sec. 2.1).
-enum class NeighborSelection {
-  /// The candidate whose suffix is numerically closest to the node's own
-  /// (deterministic; the default used throughout the paper reproduction).
-  kClosestSuffix,
-  /// The candidate with the lowest network latency (Pastry-style proximity
-  /// neighbour selection, applied to Cycloid as an extension).
-  kProximity,
-};
+/// connection pattern", paper Sec. 2.1). Now the engine-level selection
+/// enum (dht/latency.hpp); the alias keeps the pre-hoist spelling.
+using NeighborSelection = dht::NeighborSelection;
 
 class CycloidNetwork final : public dht::DhtNetwork {
  public:
@@ -122,13 +117,20 @@ class CycloidNetwork final : public dht::DhtNetwork {
     return result;
   }
 
-  /// Simulated one-hop latency between two live nodes: Euclidean distance
-  /// between their proximity coordinates on the unit torus.
-  double link_latency(dht::NodeHandle a, dht::NodeHandle b) const;
+  // link_latency(a, b) and route_latency(trace) come from DhtNetwork (the
+  // shared per-handle latency plane — both are pure and never trap on
+  // departed handles).
+  using dht::DhtNetwork::route_latency;
 
-  /// Total simulated latency of a traced route starting at `from`.
-  double route_latency(dht::NodeHandle from,
-                       const std::vector<RouteStep>& trace) const;
+  /// Total simulated latency of a traced route starting at `from`: the sum
+  /// of the trace's recorded per-hop latencies (the pre-hoist signature;
+  /// `from` is retained for call-site compatibility and unused — the trace
+  /// is the single source of truth).
+  static double route_latency(dht::NodeHandle from,
+                              const std::vector<RouteStep>& trace) noexcept {
+    (void)from;
+    return dht::trace_latency(trace);
+  }
 
   /// Times the routing safety net (pure numeric leaf-set descent) engaged
   /// after the phase algorithm exceeded its step budget. Expected ~0; exposed

@@ -21,12 +21,10 @@ namespace cycloid::ccc {
 struct CycloidNode {
   CccId id;
 
-  // Proximity coordinates on a unit torus (derived deterministically from
-  // the identifier at insertion). Used only by the proximity-aware
-  // neighbour-selection extension and by latency accounting; the paper's
-  // own Cycloid ignores network proximity.
-  double x = 0.0;
-  double y = 0.0;
+  // Proximity coordinates live on the shared per-handle latency plane
+  // (dht/latency.hpp), not in node state: the proximity-aware
+  // neighbour-selection extension and all latency accounting read
+  // dht::proximity_coord/torus_latency directly.
 
   // Routing table (kNoNode when the pattern matches no participant, e.g. for
   // every node with cyclic index 0). These entries may go stale between

@@ -43,6 +43,23 @@ void Maintainer::leave(NodeHandle node) {
   stale_ = stale_ || !policy().repairs_eagerly();
 }
 
+void Maintainer::vanish(NodeHandle node) {
+  MaintenancePolicy& pol = policy();
+  CauseScope scope(*this, MaintenanceCause::kLeaveRepair);
+  // Eager-repair overlays have no silent-vanish path — degrade to graceful
+  // semantics and record the degradation, exactly like depart_sample.
+  if (pol.repairs_eagerly()) {
+    note_event(MembershipEvent::kGracefulLeave, node);
+    pol.on_graceful_leave(node);
+    last_semantics_ = DepartureSemantics::kGraceful;
+  } else {
+    note_event(MembershipEvent::kVanish, node);
+    pol.on_vanish(node);
+    last_semantics_ = DepartureSemantics::kUngraceful;
+  }
+  stale_ = stale_ || !pol.repairs_eagerly();
+}
+
 void Maintainer::depart_sample(double p, util::Rng& rng, bool ungraceful) {
   CYCLOID_EXPECTS(p >= 0.0 && p <= 1.0);
   MaintenancePolicy& pol = policy();

@@ -263,6 +263,12 @@ class Maintainer {
   /// Graceful single departure.
   void leave(NodeHandle node);
 
+  /// Ungraceful single departure: `node` vanishes without notifying anyone,
+  /// leaving every reference to it stale until stabilization. Degrades to
+  /// graceful semantics on overlays that repair eagerly (like
+  /// depart_sample's ungraceful path, recorded the same way).
+  void vanish(NodeHandle node);
+
   /// The shared Bernoulli departure pass behind fail_simultaneously
   /// (`ungraceful == false`) and fail_ungraceful (`true`). Samples victims
   /// from node_handles() — ascending identifier order, the exact order

@@ -15,6 +15,7 @@ void LookupMetrics::note(const LookupResult& result) {
   for (std::size_t p = 0; p < kMaxPhases; ++p) {
     phase_hops[p] += static_cast<std::uint64_t>(result.phase_hops[p]);
   }
+  route_latency += result.route_latency;
 }
 
 void LookupMetrics::bind(const DhtNetwork& net) {
@@ -78,6 +79,7 @@ void LookupMetrics::merge(const LookupMetrics& other) {
   for (std::size_t p = 0; p < kMaxPhases; ++p) {
     phase_hops[p] += other.phase_hops[p];
   }
+  route_latency += other.route_latency;
   merge_query_load(other);
   for (const auto& [node, target] : other.learned_links_) {
     learned_links_.emplace(node, target);

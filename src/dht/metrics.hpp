@@ -33,6 +33,9 @@ class LookupMetrics {
   std::uint64_t guard_fallbacks = 0;
   /// Hops attributed to each routing phase (slot meanings per overlay).
   std::array<std::uint64_t, kMaxPhases> phase_hops{};
+  /// Sum of LookupResult::route_latency over the noted lookups. Non-zero
+  /// only when the lookups were priced (RouterOptions::trace/price_links).
+  double route_latency = 0.0;
 
   /// Record the outcome of one finished lookup. The routing core calls this
   /// exactly once per lookup, immediately before returning.

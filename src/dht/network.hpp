@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dht/latency.hpp"
 #include "dht/maintenance.hpp"
 #include "dht/metrics.hpp"
 #include "dht/router.hpp"
@@ -155,6 +156,24 @@ class DhtNetwork {
     return result;
   }
 
+  // Shared latency plane -------------------------------------------------
+  // Links are priced the same way for every overlay: deterministic
+  // per-handle torus coordinates (dht/latency.hpp). Both calls are pure —
+  // they never consult membership, so departed handles price exactly as
+  // they did while live.
+
+  /// Simulated one-hop latency between two handles.
+  static double link_latency(NodeHandle a, NodeHandle b) noexcept {
+    return torus_latency(a, b);
+  }
+
+  /// Total simulated latency of a recorded route. The trace's per-hop
+  /// latencies — captured at routing time — are the single source of truth;
+  /// pricing never re-resolves hops that may since have departed.
+  static double route_latency(const std::vector<TraceStep>& trace) noexcept {
+    return trace_latency(trace);
+  }
+
   /// Fold a finished batch into the registry and let the overlay apply the
   /// repair promotions the batch learned (Koorde's backup promotion). The
   /// promotions run under the engine's kLookupPromotion cause scope.
@@ -198,6 +217,12 @@ class DhtNetwork {
   void fail_ungraceful(double p, util::Rng& rng) {
     maintainer_.depart_sample(p, rng, /*ungraceful=*/true);
   }
+
+  /// Single ungraceful departure: `node` vanishes without notifying anyone
+  /// (the per-node counterpart of the sampling overload above, with the
+  /// same eager-repair degradation). Used by churn tests that need to kill
+  /// one specific traced hop.
+  void fail_ungraceful(NodeHandle node) { maintainer_.vanish(node); }
 
   /// Semantics of the most recent fail_* call (kNone before the first) —
   /// distinguishes a genuine ungraceful run from the silent graceful

@@ -94,11 +94,15 @@ LookupResult Router::run(StepPolicy& policy, NodeHandle from,
 
     result.count_hop(decision.phase);
     sink.count_query(decision.next);
-    if (options.trace != nullptr) {
-      options.trace->push_back(TraceStep{
-          decision.next, decision.phase, decision.link,
-          result.timeouts - state.timeouts_at_last_hop_,
-          policy.link_latency(state.current_, decision.next)});
+    if (options.trace != nullptr || options.price_links) {
+      const double latency =
+          policy.link_latency(state.current_, decision.next);
+      result.route_latency += latency;
+      if (options.trace != nullptr) {
+        options.trace->push_back(TraceStep{
+            decision.next, decision.phase, decision.link,
+            result.timeouts - state.timeouts_at_last_hop_, latency});
+      }
     }
     state.timeouts_at_last_hop_ = result.timeouts;
     state.current_ = decision.next;

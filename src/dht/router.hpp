@@ -32,19 +32,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "dht/latency.hpp"
 #include "dht/metrics.hpp"
 #include "dht/types.hpp"
 
 namespace cycloid::dht {
-
-/// One forwarding step of a traced lookup (engine-level; every overlay).
-struct TraceStep {
-  NodeHandle node = kNoNode;   ///< node the request was forwarded to
-  std::size_t phase = 0;       ///< phase slot that accounted the hop
-  const char* link = "";       ///< routing entry followed (static string)
-  int timeouts_before = 0;     ///< departed entries skipped at the sender
-  double latency = 0.0;        ///< simulated link latency of this hop
-};
 
 /// Reusable per-lookup buffers of the engine. A caller that routes many
 /// lookups passes the same scratch every time (RouterOptions::scratch):
@@ -75,6 +67,11 @@ struct RouterOptions {
   int max_hops = 0;
   /// When non-null, every counted hop is appended as a TraceStep.
   std::vector<TraceStep>* trace = nullptr;
+  /// Accumulate per-hop link latencies into LookupResult::route_latency
+  /// without recording a trace (the churn drivers' per-lookup pricing).
+  /// Tracing implies pricing; with both off the engine never evaluates
+  /// link_latency, so untraced batches pay nothing.
+  bool price_links = false;
   /// When non-null, the engine routes out of these caller-owned buffers
   /// instead of per-call locals (the zero-allocation batch hot path).
   RouterScratch* scratch = nullptr;
@@ -143,8 +140,13 @@ class StepPolicy {
   /// RouteState::was_visited() (only overlays whose moves may revisit).
   virtual bool track_visited() const { return false; }
 
-  /// Simulated one-hop latency, accumulated into route traces.
-  virtual double link_latency(NodeHandle, NodeHandle) const { return 0.0; }
+  /// Simulated one-hop latency, accumulated into route traces and
+  /// LookupResult::route_latency. Defaults to the shared proximity plane
+  /// (dht/latency.hpp), so every overlay prices links identically; override
+  /// only to model a different cost function (engine unit tests do).
+  virtual double link_latency(NodeHandle a, NodeHandle b) const {
+    return torus_latency(a, b);
+  }
 };
 
 /// The engine-owned view a policy routes against. Accounting members are

@@ -36,6 +36,18 @@ enum class LookupStatus {
   kHopLimit,
 };
 
+/// One forwarding step of a traced lookup (engine-level; every overlay).
+/// The recorded `latency` is the single source of truth for route pricing:
+/// it is captured at routing time, so summing a trace never has to resolve
+/// handles that may have departed since (dht/latency.hpp::trace_latency).
+struct TraceStep {
+  NodeHandle node = kNoNode;   ///< node the request was forwarded to
+  std::size_t phase = 0;       ///< phase slot that accounted the hop
+  const char* link = "";       ///< routing entry followed (static string)
+  int timeouts_before = 0;     ///< departed entries skipped at the sender
+  double latency = 0.0;        ///< simulated link latency of this hop
+};
+
 /// Outcome of one simulated lookup.
 struct LookupResult {
   /// Nodes traversed after the source (message forwardings).
@@ -52,6 +64,10 @@ struct LookupResult {
   /// Hops attributed to each routing phase; slot meanings are given by the
   /// overlay's phase_names(). Sums to `hops`.
   std::array<int, kMaxPhases> phase_hops{};
+  /// Sum of the per-hop link latencies along the route. Populated only when
+  /// the engine priced the route (RouterOptions::trace or ::price_links);
+  /// zero otherwise, so untraced batches pay nothing for it.
+  double route_latency = 0.0;
 
   void count_hop(std::size_t phase) {
     CYCLOID_EXPECTS(phase < kMaxPhases);

@@ -219,11 +219,12 @@ std::vector<UngracefulRow> run_ungraceful_experiment(
 ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
                               double join_leave_rate, double duration,
                               double stabilize_period, std::uint64_t seed,
-                              StabilizeMode mode) {
+                              StabilizeMode mode,
+                              dht::NeighborSelection selection) {
   const std::uint64_t s =
       cell_seed(seed, static_cast<std::uint64_t>(kind),
                 static_cast<std::uint64_t>(join_leave_rate * 1000.0));
-  auto net = make_dense_overlay(kind, dimension, s);
+  auto net = make_dense_overlay(kind, dimension, s, /*threads=*/1, selection);
   const std::size_t initial_size = net->node_count();
   // Counting only — no RNG draws or routing impact, so the lookup/path
   // columns stay byte-identical with or without this.
@@ -272,14 +273,22 @@ ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
         [&] { net->stabilize_dirty(); });
   }
 
-  // Poisson lookups at 1 per second (paper Sec. 4.4).
+  // Poisson lookups at 1 per second (paper Sec. 4.4). Each lookup is priced
+  // on the shared latency plane (price_links sums per-hop link latencies at
+  // routing time — no extra RNG draws, no routing impact, so the hop and
+  // timeout columns stay byte-identical to the unpriced driver).
+  dht::RouterOptions lookup_options;
+  lookup_options.price_links = true;
   auto lookup_proc = sim::PoissonProcess::start(queue, rng, 1.0, [&] {
     const dht::NodeHandle source = net->random_node(rng);
     const dht::KeyHash key = rng();
-    const dht::LookupResult result = net->lookup(source, key);
+    dht::LookupMetrics sink;
+    const dht::LookupResult result = net->route(source, key, sink, lookup_options);
+    net->absorb(sink);
     ++stats.lookups;
     stats.path_length.add(result.hops);
     stats.timeouts.add(result.timeouts);
+    stats.route_latency.add(result.route_latency);
     if (!result.success) {
       ++stats.failures;
     } else if (result.destination != net->owner_of(key)) {
@@ -325,6 +334,10 @@ ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
   row.maintenance_by_cause = net->maintenance_by_cause();
   row.nodes_refreshed_dirty = net->nodes_refreshed_dirty();
   row.nodes_skipped_clean = net->nodes_skipped_clean();
+  row.mean_route_latency =
+      stats.lookups == 0 ? 0.0 : stats.route_latency.mean();
+  row.route_latency_p99 =
+      stats.lookups == 0 ? 0.0 : stats.route_latency.p99();
   return row;
 }
 

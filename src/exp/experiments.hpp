@@ -154,16 +154,27 @@ struct ChurnRow {
   /// per-pass work a full stabilization would have wasted.
   std::uint64_t nodes_refreshed_dirty = 0;
   std::uint64_t nodes_skipped_clean = 0;
+  /// End-to-end route pricing of the churn lookups on the shared latency
+  /// plane: every lookup is priced from its recorded per-hop latencies
+  /// (trace-is-truth — hops that departed mid-run price correctly), so
+  /// this is the mean over all lookups, failures included.
+  double mean_route_latency = 0.0;
+  double route_latency_p99 = 0.0;
 };
 
 /// Start a 2048-node network; Poisson lookups at 1/s, Poisson joins and
 /// leaves each at rate R, per-node stabilization every `stabilize_period`
 /// seconds with uniformly distributed phases (paper Sec. 4.4). Runs for
 /// `duration` virtual seconds.
-ChurnRow run_churn_experiment(OverlayKind kind, int dimension,
-                              double join_leave_rate, double duration,
-                              double stabilize_period, std::uint64_t seed,
-                              StabilizeMode mode = StabilizeMode::kFull);
+/// `selection` switches the Cycloid variants onto proximity-aware
+/// neighbour selection (ignored by the other overlays); both selections
+/// consume the identical RNG stream, so suffix-vs-proximity cells compare
+/// the same join/leave/lookup workload.
+ChurnRow run_churn_experiment(
+    OverlayKind kind, int dimension, double join_leave_rate, double duration,
+    double stabilize_period, std::uint64_t seed,
+    StabilizeMode mode = StabilizeMode::kFull,
+    dht::NeighborSelection selection = dht::NeighborSelection::kClosestSuffix);
 
 // --- Figs. 13/14: identifier-space sparsity ---------------------------------
 

@@ -54,10 +54,9 @@ std::string overlay_label(OverlayKind kind) {
   return {};
 }
 
-std::unique_ptr<dht::DhtNetwork> make_dense_overlay(OverlayKind kind,
-                                                    int cycloid_dim,
-                                                    std::uint64_t seed,
-                                                    int threads) {
+std::unique_ptr<dht::DhtNetwork> make_dense_overlay(
+    OverlayKind kind, int cycloid_dim, std::uint64_t seed, int threads,
+    dht::NeighborSelection selection) {
   const std::uint64_t n =
       static_cast<std::uint64_t>(cycloid_dim) * (1ULL << cycloid_dim);
   util::Rng rng(seed);
@@ -66,11 +65,11 @@ std::unique_ptr<dht::DhtNetwork> make_dense_overlay(OverlayKind kind,
 
   switch (kind) {
     case OverlayKind::kCycloid7:
-      return ccc::CycloidNetwork::build_complete(
-          cycloid_dim, 1, ccc::NeighborSelection::kClosestSuffix, threads);
+      return ccc::CycloidNetwork::build_complete(cycloid_dim, 1, selection,
+                                                 threads);
     case OverlayKind::kCycloid11:
-      return ccc::CycloidNetwork::build_complete(
-          cycloid_dim, 2, ccc::NeighborSelection::kClosestSuffix, threads);
+      return ccc::CycloidNetwork::build_complete(cycloid_dim, 2, selection,
+                                                 threads);
     case OverlayKind::kViceroy:
       return viceroy::ViceroyNetwork::build_random(n, rng, threads);
     case OverlayKind::kChord:
@@ -93,11 +92,9 @@ std::unique_ptr<dht::DhtNetwork> make_dense_overlay(OverlayKind kind,
   return nullptr;
 }
 
-std::unique_ptr<dht::DhtNetwork> make_sparse_overlay(OverlayKind kind,
-                                                     int cycloid_dim,
-                                                     std::size_t count,
-                                                     std::uint64_t seed,
-                                                     int threads) {
+std::unique_ptr<dht::DhtNetwork> make_sparse_overlay(
+    OverlayKind kind, int cycloid_dim, std::size_t count, std::uint64_t seed,
+    int threads, dht::NeighborSelection selection) {
   const std::uint64_t space =
       static_cast<std::uint64_t>(cycloid_dim) * (1ULL << cycloid_dim);
   util::Rng rng(seed);
@@ -105,13 +102,11 @@ std::unique_ptr<dht::DhtNetwork> make_sparse_overlay(OverlayKind kind,
 
   switch (kind) {
     case OverlayKind::kCycloid7:
-      return ccc::CycloidNetwork::build_random(
-          cycloid_dim, count, rng, 1, ccc::NeighborSelection::kClosestSuffix,
-          threads);
+      return ccc::CycloidNetwork::build_random(cycloid_dim, count, rng, 1,
+                                               selection, threads);
     case OverlayKind::kCycloid11:
-      return ccc::CycloidNetwork::build_random(
-          cycloid_dim, count, rng, 2, ccc::NeighborSelection::kClosestSuffix,
-          threads);
+      return ccc::CycloidNetwork::build_random(cycloid_dim, count, rng, 2,
+                                               selection, threads);
     case OverlayKind::kViceroy:
       return viceroy::ViceroyNetwork::build_random(count, rng, threads);
     case OverlayKind::kChord:

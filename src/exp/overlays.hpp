@@ -48,18 +48,20 @@ std::string overlay_label(OverlayKind kind);
 /// one stabilize pass computes every routing table, fanned out over
 /// `threads` workers. The resulting network is byte-identical at any
 /// thread count (DESIGN.md §9).
-std::unique_ptr<dht::DhtNetwork> make_dense_overlay(OverlayKind kind,
-                                                    int cycloid_dim,
-                                                    std::uint64_t seed,
-                                                    int threads = 1);
+///
+/// `selection` picks the neighbour-selection policy for the overlays that
+/// support one (the Cycloid variants — kProximity breaks cubical-neighbour
+/// ties by link latency on the shared plane); the others ignore it.
+std::unique_ptr<dht::DhtNetwork> make_dense_overlay(
+    OverlayKind kind, int cycloid_dim, std::uint64_t seed, int threads = 1,
+    dht::NeighborSelection selection = dht::NeighborSelection::kClosestSuffix);
 
 /// Sparse network: `count` participants at random identifiers inside the
 /// identifier space sized by cycloid_dim (d * 2^d positions for Cycloid,
 /// 2^ceil(log2(d * 2^d)) for the ring DHTs, [0,1) for Viceroy).
-std::unique_ptr<dht::DhtNetwork> make_sparse_overlay(OverlayKind kind,
-                                                     int cycloid_dim,
-                                                     std::size_t count,
-                                                     std::uint64_t seed,
-                                                     int threads = 1);
+std::unique_ptr<dht::DhtNetwork> make_sparse_overlay(
+    OverlayKind kind, int cycloid_dim, std::size_t count, std::uint64_t seed,
+    int threads = 1,
+    dht::NeighborSelection selection = dht::NeighborSelection::kClosestSuffix);
 
 }  // namespace cycloid::exp

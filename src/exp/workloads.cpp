@@ -34,6 +34,7 @@ void WorkloadStats::merge(const WorkloadStats& other) {
   incorrect += other.incorrect;
   path_length.merge(other.path_length);
   timeouts.merge(other.timeouts);
+  route_latency.merge(other.route_latency);
   metrics.merge(other.metrics);
   if (phase_names.empty()) phase_names = other.phase_names;
 }

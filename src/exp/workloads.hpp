@@ -22,6 +22,11 @@ struct WorkloadStats {
   std::uint64_t incorrect = 0;   // terminated at a node that is not the owner
   stats::Summary path_length;
   stats::Summary timeouts;
+  /// Per-lookup end-to-end route latency (sum of per-hop link latencies on
+  /// the shared proximity plane). Populated only by drivers that price
+  /// their lookups (the churn driver); batch runs leave it empty rather
+  /// than paying per-hop latency evaluation on the hot path.
+  stats::Summary route_latency;
   dht::LookupMetrics metrics;
   std::vector<std::string> phase_names;
 

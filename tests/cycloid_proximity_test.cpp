@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/network.hpp"
+#include "dht/latency.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 
@@ -12,17 +13,19 @@ namespace {
 using dht::NodeHandle;
 
 TEST(Proximity, CoordinatesAreDeterministicAndInRange) {
-  auto a = CycloidNetwork::build_complete(5);
-  auto b = CycloidNetwork::build_complete(5);
-  for (const NodeHandle h : a->node_handles()) {
-    const CycloidNode& na = a->node_state(h);
-    const CycloidNode& nb = b->node_state(h);
-    EXPECT_EQ(na.x, nb.x);
-    EXPECT_EQ(na.y, nb.y);
-    EXPECT_GE(na.x, 0.0);
-    EXPECT_LT(na.x, 1.0);
-    EXPECT_GE(na.y, 0.0);
-    EXPECT_LT(na.y, 1.0);
+  // Coordinates live on the shared latency plane (dht/latency.hpp): a pure
+  // function of the handle, so two networks — or a network and a departed
+  // node — always agree.
+  auto net = CycloidNetwork::build_complete(5);
+  for (const NodeHandle h : net->node_handles()) {
+    const dht::ProximityCoord c1 = dht::proximity_coord(h);
+    const dht::ProximityCoord c2 = dht::proximity_coord(h);
+    EXPECT_EQ(c1.x, c2.x);
+    EXPECT_EQ(c1.y, c2.y);
+    EXPECT_GE(c1.x, 0.0);
+    EXPECT_LT(c1.x, 1.0);
+    EXPECT_GE(c1.y, 0.0);
+    EXPECT_LT(c1.y, 1.0);
   }
 }
 
@@ -117,6 +120,32 @@ TEST(Proximity, ReducesRouteLatencyAtSimilarHops) {
   const auto [pns_hops, pns_latency] = measure(NeighborSelection::kProximity);
   EXPECT_LT(pns_latency, 0.9 * suffix_latency);
   EXPECT_LT(std::abs(pns_hops - suffix_hops), 0.15 * suffix_hops);
+}
+
+TEST(Proximity, TracePricingSurvivesDepartedHops) {
+  // Regression: route pricing must read the latencies recorded in the trace
+  // (trace-is-truth), never re-look-up the hops — an intermediate node that
+  // departed ungracefully after the lookup would otherwise trap the pricing
+  // of a perfectly valid historical route.
+  util::Rng rng(6);
+  auto net = CycloidNetwork::build_random(6, 200, rng, 1);
+  for (int i = 0; i < 200; ++i) {
+    const NodeHandle from = net->random_node(rng);
+    std::vector<CycloidNetwork::RouteStep> trace;
+    const dht::LookupResult result =
+        net->lookup_id(from, net->key_id(rng()), &trace);
+    if (!result.success || trace.size() < 3) continue;
+    const double before = net->route_latency(from, trace);
+    // Kill a strictly intermediate hop with no repair of any kind.
+    const NodeHandle victim = trace[trace.size() / 2].node;
+    ASSERT_NE(victim, from);
+    ASSERT_NE(victim, result.destination);
+    net->fail_ungraceful(victim);
+    EXPECT_DOUBLE_EQ(net->route_latency(from, trace), before);
+    EXPECT_DOUBLE_EQ(dht::trace_latency(trace), before);
+    return;  // one departure is the scenario; don't churn the instance
+  }
+  FAIL() << "no successful route with an intermediate hop was sampled";
 }
 
 TEST(Proximity, RouteLatencySumsLinkLatencies) {

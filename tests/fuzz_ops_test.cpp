@@ -121,16 +121,15 @@ TEST_P(FuzzTest, StoreModelCheck) {
   EXPECT_EQ(store.key_count(), model.size());
 }
 
-TEST_P(FuzzTest, IncrementalDrainsMatchAFullPassShadow) {
-  // Random soup of joins, graceful/ungraceful leaves, mass failures, and
-  // lookups, driven IDENTICALLY into two networks: the primary tracks
-  // dirty neighborhoods and drains with stabilize_dirty (alternating
-  // thread counts), the shadow drains with a full stabilize_all at the
-  // same points. After every drain both must be at the same fixpoint —
-  // any under-enqueued dirty hook shows up as a field diff here.
-  auto primary = make_sparse_overlay(GetParam(), 7, 120, 0xd117);
-  auto shadow = make_sparse_overlay(GetParam(), 7, 120, 0xd117);
-  primary->set_dirty_tracking(true);
+// Random soup of joins, graceful/ungraceful leaves, mass failures, and
+// lookups, driven IDENTICALLY into two networks: the primary tracks
+// dirty neighborhoods and drains with stabilize_dirty (alternating
+// thread counts), the shadow drains with a full stabilize_all at the
+// same points. After every drain both must be at the same fixpoint —
+// any under-enqueued dirty hook shows up as a field diff here.
+void run_primary_shadow_soup(OverlayKind kind, dht::DhtNetwork& primary,
+                             dht::DhtNetwork& shadow) {
+  primary.set_dirty_tracking(true);
   util::Rng rng(0x5eed);
 
   for (int op = 0; op < 300; ++op) {
@@ -138,41 +137,41 @@ TEST_P(FuzzTest, IncrementalDrainsMatchAFullPassShadow) {
       case 0:
       case 1: {
         const std::uint64_t seed = rng();
-        primary->join(seed);
-        shadow->join(seed);
+        primary.join(seed);
+        shadow.join(seed);
         break;
       }
       case 2:
-        if (primary->node_count() > 16) {
+        if (primary.node_count() > 16) {
           const auto idx =
-              static_cast<std::size_t>(rng.below(primary->node_count()));
-          const NodeHandle victim = primary->node_handles()[idx];
-          primary->leave(victim);
-          shadow->leave(victim);
+              static_cast<std::size_t>(rng.below(primary.node_count()));
+          const NodeHandle victim = primary.node_handles()[idx];
+          primary.leave(victim);
+          shadow.leave(victim);
         }
         break;
       case 3:
-        if (op % 41 == 0 && primary->node_count() > 64) {
+        if (op % 41 == 0 && primary.node_count() > 64) {
           const std::uint64_t seed = rng();
           util::Rng ra(seed);
           util::Rng rb(seed);
-          primary->fail_ungraceful(0.1, ra);
-          shadow->fail_ungraceful(0.1, rb);
+          primary.fail_ungraceful(0.1, ra);
+          shadow.fail_ungraceful(0.1, rb);
         }
         break;
       case 4:
-        if (op % 43 == 0 && primary->node_count() > 64) {
+        if (op % 43 == 0 && primary.node_count() > 64) {
           const std::uint64_t seed = rng();
           util::Rng ra(seed);
           util::Rng rb(seed);
-          primary->fail_simultaneously(0.1, ra);
-          shadow->fail_simultaneously(0.1, rb);
+          primary.fail_simultaneously(0.1, ra);
+          shadow.fail_simultaneously(0.1, rb);
         }
         break;
       case 5: {
-        primary->stabilize_dirty(op % 2 == 0 ? 1 : 4);
-        shadow->stabilize_all();
-        expect_same_state(GetParam(), *primary, *shadow);
+        primary.stabilize_dirty(op % 2 == 0 ? 1 : 4);
+        shadow.stabilize_all();
+        expect_same_state(kind, primary, shadow);
         break;
       }
       default: {
@@ -180,20 +179,51 @@ TEST_P(FuzzTest, IncrementalDrainsMatchAFullPassShadow) {
         // states, so the routes — and Koorde's absorbed lookup-learned
         // promotions — match too.
         const auto idx =
-            static_cast<std::size_t>(rng.below(primary->node_count()));
-        const NodeHandle from = primary->node_handles()[idx];
+            static_cast<std::size_t>(rng.below(primary.node_count()));
+        const NodeHandle from = primary.node_handles()[idx];
         const dht::KeyHash key = rng();
-        primary->lookup(from, key);
-        shadow->lookup(from, key);
+        primary.lookup(from, key);
+        shadow.lookup(from, key);
         break;
       }
     }
   }
-  primary->stabilize_dirty(2);
-  shadow->stabilize_all();
-  expect_same_state(GetParam(), *primary, *shadow);
-  EXPECT_GT(primary->nodes_skipped_clean(), 0u);
+  primary.stabilize_dirty(2);
+  shadow.stabilize_all();
+  expect_same_state(kind, primary, shadow);
+  EXPECT_GT(primary.nodes_skipped_clean(), 0u);
 }
+
+TEST_P(FuzzTest, IncrementalDrainsMatchAFullPassShadow) {
+  auto primary = make_sparse_overlay(GetParam(), 7, 120, 0xd117);
+  auto shadow = make_sparse_overlay(GetParam(), 7, 120, 0xd117);
+  run_primary_shadow_soup(GetParam(), *primary, *shadow);
+}
+
+// Same soup, with the Cycloid variants built under proximity neighbour
+// selection: the policy changes which cubical candidate wins, not the
+// maintenance semantics, so the incremental drains must still converge to
+// the full-pass fixpoint.
+class ProximityFuzzTest : public ::testing::TestWithParam<OverlayKind> {};
+
+TEST_P(ProximityFuzzTest, IncrementalDrainsMatchAFullPassShadow) {
+  auto primary = make_sparse_overlay(GetParam(), 7, 120, 0xd117, 1,
+                                     dht::NeighborSelection::kProximity);
+  auto shadow = make_sparse_overlay(GetParam(), 7, 120, 0xd117, 1,
+                                    dht::NeighborSelection::kProximity);
+  run_primary_shadow_soup(GetParam(), *primary, *shadow);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cycloid, ProximityFuzzTest,
+    ::testing::Values(OverlayKind::kCycloid7, OverlayKind::kCycloid11),
+    [](const ::testing::TestParamInfo<OverlayKind>& info) {
+      std::string name = overlay_label(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 INSTANTIATE_TEST_SUITE_P(AllOverlays, FuzzTest,
                          ::testing::ValuesIn(extended_overlays()),

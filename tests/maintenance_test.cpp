@@ -317,6 +317,53 @@ TEST_P(IncrementalStabilizationTest, StateAndMetricsAreThreadCountIndependent) {
   EXPECT_EQ(one->nodes_skipped_clean(), many->nodes_skipped_clean());
 }
 
+// Same pins with the Cycloid variants built under proximity neighbour
+// selection: the policy changes which cubical candidate a repair picks, not
+// which nodes a membership event dirties, so the incremental drains must
+// still converge to the full-pass fixpoint — at any thread count.
+class ProximityIncrementalTest : public ::testing::TestWithParam<OverlayKind> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cycloid, ProximityIncrementalTest,
+    ::testing::Values(OverlayKind::kCycloid7, OverlayKind::kCycloid11),
+    [](const auto& info) {
+      std::string label = overlay_label(info.param);
+      for (char& c : label) {
+        if (c == '-') c = '_';
+      }
+      return label;
+    });
+
+TEST_P(ProximityIncrementalTest, MatchesFullPassOnAFixedChurnScript) {
+  auto primary = make_sparse_overlay(GetParam(), 7, 400, 11, 1,
+                                     dht::NeighborSelection::kProximity);
+  auto shadow = make_sparse_overlay(GetParam(), 7, 400, 11, 1,
+                                    dht::NeighborSelection::kProximity);
+  primary->set_dirty_tracking(true);
+  run_churn_script(*primary, /*incremental=*/true, /*threads=*/1);
+  run_churn_script(*shadow, /*incremental=*/false, /*threads=*/1);
+
+  expect_same_state(GetParam(), *primary, *shadow);
+  EXPECT_GT(primary->nodes_skipped_clean(), 0u) << overlay_label(GetParam());
+}
+
+TEST_P(ProximityIncrementalTest, StateAndMetricsAreThreadCountIndependent) {
+  auto one = make_sparse_overlay(GetParam(), 7, 400, 11, 1,
+                                 dht::NeighborSelection::kProximity);
+  auto many = make_sparse_overlay(GetParam(), 7, 400, 11, 1,
+                                  dht::NeighborSelection::kProximity);
+  one->set_dirty_tracking(true);
+  many->set_dirty_tracking(true);
+  run_churn_script(*one, /*incremental=*/true, /*threads=*/1);
+  run_churn_script(*many, /*incremental=*/true, /*threads=*/4);
+
+  expect_same_state(GetParam(), *one, *many);
+  EXPECT_EQ(one->maintenance_by_cause(), many->maintenance_by_cause());
+  EXPECT_EQ(one->nodes_refreshed_dirty(), many->nodes_refreshed_dirty());
+  EXPECT_EQ(one->nodes_skipped_clean(), many->nodes_skipped_clean());
+}
+
 TEST(IncrementalStabilization, SingleJoinDirtiesABoundedNeighborhood) {
   // Constant-degree maintenance: one join must dirty a small neighbourhood,
   // not the network — the skip counter records the avoided work.

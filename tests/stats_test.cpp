@@ -93,6 +93,19 @@ TEST(Summary, MergeCombinesSamples) {
   EXPECT_DOUBLE_EQ(a.max(), 4.0);
 }
 
+TEST(SummaryDeathTest, AccessorsTrapOnAnEmptySeries) {
+  // Pinned contract: an empty series has no mean/percentile — the accessors
+  // abort rather than emit NaN. Callers that can legitimately see zero
+  // samples (e.g. a bench cell with its lookup count dialed to 0) must
+  // guard with empty() and render the degenerate row explicitly.
+  Summary s;
+  ASSERT_TRUE(s.empty());
+  EXPECT_DEATH(s.mean(), "Precondition");
+  EXPECT_DEATH(s.min(), "Precondition");
+  EXPECT_DEATH(s.max(), "Precondition");
+  EXPECT_DEATH(s.percentile(99.0), "Precondition");
+}
+
 TEST(Summary, AddCount) {
   Summary s;
   s.add_count(7);
