@@ -13,9 +13,14 @@
 namespace cycloid::bench {
 
 int threads() {
-  return static_cast<int>(env_u64(
-      "CYCLOID_BENCH_THREADS",
-      static_cast<std::uint64_t>(cycloid::util::default_thread_count())));
+  const auto fallback =
+      static_cast<std::uint64_t>(cycloid::util::default_thread_count());
+  std::uint64_t value = env_u64("CYCLOID_BENCH_THREADS", fallback);
+  // env_u64 already rejects garbage and 64-bit overflow; additionally
+  // reject 0 (would serialize the pool) and counts that only "work" by
+  // truncating in the narrowing cast below.
+  if (value == 0 || value > kMaxBenchThreads) value = fallback;
+  return static_cast<int>(value);
 }
 
 bool parse_u64(const char* value, std::uint64_t& out) {

@@ -49,9 +49,16 @@ inline std::uint64_t lookup_cap() {
   return env_u64("CYCLOID_BENCH_LOOKUP_CAP", 100000);
 }
 
+/// Upper bound accepted from CYCLOID_BENCH_THREADS. Values above this fit
+/// in a u64 but are nonsense as worker counts (and would truncate when
+/// narrowed to int), so they fall back like any other malformed value.
+inline constexpr std::uint64_t kMaxBenchThreads = 4096;
+
 /// Worker threads for parallel experiments (results are identical at any
 /// thread count; see exp::run_lookup_batch / util::parallel_for). Override
-/// with CYCLOID_BENCH_THREADS.
+/// with CYCLOID_BENCH_THREADS — strictly parsed (env_u64): garbage,
+/// partial parses, zero, and counts beyond kMaxBenchThreads all fall back
+/// to the hardware default instead of silently truncating.
 int threads();
 
 /// Fixed seed: every bench prints identical tables run to run.

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
     util::Table table({"overlay", "nodes", "lookups", "build s", "1-thread s",
                        "1-thread lookups/s",
                        std::to_string(threads) + "-thread lookups/s",
-                       "mean path"});
+                       "mean path", "ns/hop", "hops/s"});
     for (const exp::OverlayKind kind : exp::extended_overlays()) {
       const auto build_start = std::chrono::steady_clock::now();
       const auto net = exp::make_sparse_overlay(
@@ -91,6 +91,12 @@ int main(int argc, char** argv) {
       exp::run_lookup_batch(*net, lookups, bench::kBenchSeed + 2, threads);
       const double par_s = seconds_since(par_start);
 
+      // Hot-path cost per hop decision (1-thread run): routing time
+      // divided by total message forwardings. The slot-dense storage
+      // plane's effect shows up here directly — hop count is topology,
+      // ns/hop is implementation.
+      const double total_hops =
+          seq.mean_path() * static_cast<double>(lookups);
       table.row()
           .add(exp::overlay_label(kind))
           .add(n)
@@ -99,7 +105,9 @@ int main(int argc, char** argv) {
           .add(seq_s, 3)
           .add(static_cast<double>(lookups) / seq_s, 0)
           .add(static_cast<double>(lookups) / par_s, 0)
-          .add(seq.mean_path(), 2);
+          .add(seq.mean_path(), 2)
+          .add(total_hops > 0.0 ? seq_s * 1e9 / total_hops : 0.0, 1)
+          .add(total_hops / seq_s, 0);
     }
     report.section("Lookup throughput, n = " + std::to_string(n) +
                        " (d = " + std::to_string(dim) + ")",

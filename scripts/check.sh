@@ -18,9 +18,18 @@ case "${1:-}" in
 esac
 build_dir="build-check${sanitize:+-$sanitize}"
 
+# Route compiles through ccache when it is installed (the CI jobs restore a
+# warm cache); a machine without it builds exactly as before.
+launcher=()
+if command -v ccache > /dev/null; then
+  launcher=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+            -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 cmake -B "$build_dir" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCYCLOID_SANITIZE="$sanitize"
+  -DCYCLOID_SANITIZE="$sanitize" \
+  "${launcher[@]}"
 cmake --build "$build_dir" -j "$(nproc)"
 
 # Surface every data race / report as a hard failure.

@@ -9,6 +9,10 @@
 #   CYCLOID_BENCH_PERF_CHURN_SECONDS=120 ...           # maintenance smoke
 #   CYCLOID_BENCH_PNS_CHURN_SECONDS=120 ...            # proximity smoke
 #
+# Every emitted document is validated with `python3 -m json.tool` before
+# the script reports success, so a malformed cell can never reach the CI
+# artifacts unnoticed.
+#
 # Extra arguments are passed to all four bench binaries. The JSON mirrors
 # the printed tables (bench::Report --json): lookups/sec per overlay for the
 # throughput suite, eager vs bulk build times (1 and N stabilize threads)
@@ -24,19 +28,32 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir="build-perf"
-cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+
+# Route compiles through ccache when it is installed (the CI jobs restore a
+# warm cache); a machine without it builds exactly as before.
+launcher=()
+if command -v ccache > /dev/null; then
+  launcher=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+            -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release "${launcher[@]}"
 cmake --build "$build_dir" -j "$(nproc)" \
   --target perf_lookup_throughput --target perf_build \
   --target perf_maintenance --target ext_proximity_churn
 
 "$build_dir/bench/perf_lookup_throughput" --json BENCH_lookups.json "$@"
-echo "wrote BENCH_lookups.json"
+python3 -m json.tool BENCH_lookups.json > /dev/null
+echo "wrote BENCH_lookups.json (valid JSON)"
 
 "$build_dir/bench/perf_build" --json BENCH_build.json "$@"
-echo "wrote BENCH_build.json"
+python3 -m json.tool BENCH_build.json > /dev/null
+echo "wrote BENCH_build.json (valid JSON)"
 
 "$build_dir/bench/perf_maintenance" --json BENCH_maintenance.json "$@"
-echo "wrote BENCH_maintenance.json"
+python3 -m json.tool BENCH_maintenance.json > /dev/null
+echo "wrote BENCH_maintenance.json (valid JSON)"
 
 "$build_dir/bench/ext_proximity_churn" --json BENCH_proximity.json "$@"
-echo "wrote BENCH_proximity.json"
+python3 -m json.tool BENCH_proximity.json > /dev/null
+echo "wrote BENCH_proximity.json (valid JSON)"

@@ -70,7 +70,7 @@ class CanMaintenancePolicy final : public dht::MaintenancePolicy {
     // to re-attempt coalescing of fragmented zones (node-local: coalesce
     // only merges the node's own zone list, so the parallel pass stays
     // race-free).
-    if (CanNode* state = net_.find(node)) net_.coalesce(*state);
+    if (CanNode* state = net_.node_of(node)) net_.coalesce(*state);
   }
 
   void dirty(dht::MembershipEvent, NodeHandle node) override {
@@ -79,7 +79,7 @@ class CanMaintenancePolicy final : public dht::MaintenancePolicy {
     // changes are the subject's and its neighbours' (the split owner on a
     // join, the takeover heir on a departure are both adjacent), so mark
     // exactly that patch.
-    const CanNode* state = net_.find(node);
+    const CanNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
     net_.mark_dirty(node);
     for (const NodeHandle n : state->neighbors) net_.mark_dirty(n);
@@ -124,22 +124,6 @@ Point CanNetwork::point_from_hash(dht::KeyHash key) const {
         static_cast<double>(chunk) / std::ldexp(1.0, slice);
   }
   return p;
-}
-
-CanNode* CanNetwork::find(NodeHandle handle) {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const CanNode* CanNetwork::find(NodeHandle handle) const {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const CanNode& CanNetwork::node_state(NodeHandle handle) const {
-  const CanNode* node = find(handle);
-  CYCLOID_EXPECTS(node != nullptr);
-  return *node;
 }
 
 double CanNetwork::volume_of(NodeHandle handle) const {
@@ -209,31 +193,31 @@ bool CanNetwork::nodes_adjacent(const CanNode& a, const CanNode& b) const {
   return false;
 }
 
-NodeHandle CanNetwork::node_at(const Point& p) const {
-  for (const auto& [handle, node] : nodes_) {
-    for (const Zone& zone : node->zones) {
-      if (zone_contains(zone, p)) return handle;
+NodeHandle CanNetwork::node_owning(const Point& p) const {
+  for (std::size_t slot = 0; slot < node_count(); ++slot) {
+    for (const Zone& zone : node_at(slot).zones) {
+      if (zone_contains(zone, p)) return handle_at(slot);
     }
   }
-  CYCLOID_ASSERT(nodes_.empty());  // zones tile the torus
+  CYCLOID_ASSERT(node_count() == 0);  // zones tile the torus
   return kNoNode;
 }
 
 void CanNetwork::relink(NodeHandle handle,
                         const std::set<NodeHandle>& candidates) {
-  CanNode* node = find(handle);
+  CanNode* node = node_of(handle);
   CYCLOID_ASSERT(node != nullptr);
   // Every candidate is probed for adjacency: one exchange per candidate.
   note_maintenance(handle, candidates.size());
   // Drop this node from its previous neighbours' sets, then re-evaluate
   // adjacency against the candidate set.
   for (const NodeHandle old : node->neighbors) {
-    if (CanNode* other = find(old)) other->neighbors.erase(handle);
+    if (CanNode* other = node_of(old)) other->neighbors.erase(handle);
   }
   node->neighbors.clear();
   for (const NodeHandle cand : candidates) {
     if (cand == handle) continue;
-    CanNode* other = find(cand);
+    CanNode* other = node_of(cand);
     if (other == nullptr) continue;
     if (nodes_adjacent(*node, *other)) {
       node->neighbors.insert(cand);
@@ -278,25 +262,23 @@ void CanNetwork::coalesce(CanNode& node) const {
 
 NodeHandle CanNetwork::join_at(const Point& point) {
   const NodeHandle handle = next_serial_++;
-  auto fresh = std::make_unique<CanNode>();
-  CanNode* raw = fresh.get();
 
-  if (nodes_.empty()) {
+  if (node_count() == 0) {
     Zone all{};
     for (int d = 0; d < dims_; ++d) {
       all.span[static_cast<std::size_t>(d)] = Interval{0.0, 1.0};
     }
-    raw->zones.push_back(all);
-    nodes_.emplace(handle, std::move(fresh));
-    register_handle(handle);
+    create_node(handle).zones.push_back(all);
     notify_joined(handle);
     return handle;
   }
 
   // Split the zone containing the point along its longest side; the half
-  // containing the point goes to the newcomer.
-  const NodeHandle owner_handle = node_at(point);
-  CanNode* owner = find(owner_handle);
+  // containing the point goes to the newcomer. All owner state is read and
+  // mutated BEFORE create_node: the arena may reallocate on emplace, so no
+  // pointer into it can be held across the insertion.
+  const NodeHandle owner_handle = node_owning(point);
+  CanNode* owner = node_of(owner_handle);
   CYCLOID_ASSERT(owner != nullptr);
   std::size_t zone_index = 0;
   for (std::size_t z = 0; z < owner->zones.size(); ++z) {
@@ -325,15 +307,14 @@ NodeHandle CanNetwork::join_at(const Point& point) {
     new_zone.span[static_cast<std::size_t>(split_dim)] = Interval{mid, iv.hi};
     iv.hi = mid;
   }
-  raw->zones.push_back(new_zone);
-
-  nodes_.emplace(handle, std::move(fresh));
-  register_handle(handle);
 
   // Adjacency can only change among the owner's old neighbourhood.
   std::set<NodeHandle> candidates = owner->neighbors;
   candidates.insert(owner_handle);
   candidates.insert(handle);
+  owner = nullptr;  // invalidated by the emplace below
+
+  create_node(handle).zones.push_back(new_zone);
   relink(handle, candidates);
   relink(owner_handle, candidates);
   notify_joined(handle);
@@ -341,23 +322,25 @@ NodeHandle CanNetwork::join_at(const Point& point) {
 }
 
 void CanNetwork::unlink(NodeHandle handle) {
-  CanNode* node = find(handle);
+  CanNode* node = node_of(handle);
   CYCLOID_EXPECTS(node != nullptr);
   for (const NodeHandle n : node->neighbors) {
-    if (CanNode* other = find(n)) other->neighbors.erase(handle);
+    if (CanNode* other = node_of(n)) other->neighbors.erase(handle);
   }
-  unregister_handle(handle);
-  nodes_.erase(handle);
+  destroy_node(handle);
 }
 
 std::vector<std::string> CanNetwork::phase_names() const { return {"greedy"}; }
 
 NodeHandle CanNetwork::owner_of(dht::KeyHash key) const {
-  return node_at(point_from_hash(key));
+  return node_owning(point_from_hash(key));
 }
 
 bool CanNetwork::node_owns_point(NodeHandle handle, const Point& p) const {
-  const CanNode& node = node_state(handle);
+  return node_owns_point(node_state(handle), p);
+}
+
+bool CanNetwork::node_owns_point(const CanNode& node, const Point& p) const {
   for (const Zone& zone : node.zones) {
     if (zone_contains(zone, p)) return true;
   }
@@ -383,19 +366,21 @@ class CanStepPolicy final : public dht::StepPolicy {
       : net_(net), target_(target) {}
 
   bool alive(NodeHandle node) const override { return net_.contains(node); }
+  std::size_t slot_of(NodeHandle node) const override {
+    return net_.slot_of(node);
+  }
   /// Continuous identifier space: 8 * the 64 bits of the key hash.
   int default_max_hops() const override { return 8 * 64; }
   bool track_visited() const override { return true; }
 
   dht::HopDecision next_hop(const dht::RouteState& state) override {
-    const NodeHandle self = state.current();
-    if (net_.node_owns_point(self, target_)) {
+    const CanNode& cur = net_.node_at(state.current_slot());
+    if (net_.node_owns_point(cur, target_)) {
       return dht::HopDecision::deliver();
     }
 
-    const CanNode& cur = net_.node_state(self);
     NodeHandle best = kNoNode;
-    const double cur_dist = net_.node_distance2(self, target_);
+    const double cur_dist = net_.node_distance2(cur, target_);
     double best_dist = cur_dist;
     NodeHandle side = kNoNode;
     for (const NodeHandle n : cur.neighbors) {
@@ -435,9 +420,9 @@ NodeHandle CanNetwork::join(std::uint64_t seed) {
 }
 
 void CanNetwork::depart_gracefully(NodeHandle node) {
-  CanNode* leaver = find(node);
+  CanNode* leaver = node_of(node);
   CYCLOID_EXPECTS(leaver != nullptr);
-  if (nodes_.size() == 1) {
+  if (node_count() == 1) {
     unlink(node);
     return;
   }
@@ -454,7 +439,7 @@ void CanNetwork::depart_gracefully(NodeHandle node) {
     }
   }
   CYCLOID_ASSERT(heir != kNoNode);  // zones tile: every node has neighbours
-  CanNode* recipient = find(heir);
+  CanNode* recipient = node_of(heir);
 
   std::set<NodeHandle> candidates = leaver->neighbors;
   for (const NodeHandle n : recipient->neighbors) candidates.insert(n);
@@ -470,17 +455,21 @@ void CanNetwork::depart_gracefully(NodeHandle node) {
 bool CanNetwork::check_invariants() const {
   // 1. Zone volumes sum to 1 (the zones tile the torus).
   double total = 0.0;
-  for (const auto& [handle, node] : nodes_) total += volume_of(handle);
-  if (nodes_.empty()) return true;
+  for (std::size_t slot = 0; slot < node_count(); ++slot) {
+    total += volume_of(handle_at(slot));
+  }
+  if (node_count() == 0) return true;
   if (std::fabs(total - 1.0) > 1e-9) return false;
 
   // 2. Adjacency sets are symmetric and match geometry.
-  for (const auto& [ha, a] : nodes_) {
-    for (const auto& [hb, b] : nodes_) {
-      if (ha == hb) continue;
-      const bool geometric = nodes_adjacent(*a, *b);
-      const bool listed = a->neighbors.contains(hb);
-      const bool listed_back = b->neighbors.contains(ha);
+  for (std::size_t sa = 0; sa < node_count(); ++sa) {
+    const CanNode& a = node_at(sa);
+    for (std::size_t sb = 0; sb < node_count(); ++sb) {
+      if (sa == sb) continue;
+      const CanNode& b = node_at(sb);
+      const bool geometric = nodes_adjacent(a, b);
+      const bool listed = a.neighbors.contains(handle_at(sb));
+      const bool listed_back = b.neighbors.contains(handle_at(sa));
       if (geometric != listed || listed != listed_back) return false;
     }
   }

@@ -20,9 +20,9 @@
 #include <memory>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "dht/arena.hpp"
 #include "dht/network.hpp"
 #include "util/rng.hpp"
 
@@ -51,7 +51,7 @@ struct CanNode {
   std::set<dht::NodeHandle> neighbors;   // zone-contiguous nodes
 };
 
-class CanNetwork final : public dht::DhtNetwork {
+class CanNetwork final : public dht::ArenaNetwork<CanNode> {
  public:
   explicit CanNetwork(int dims = 2);
 
@@ -74,15 +74,17 @@ class CanNetwork final : public dht::DhtNetwork {
   /// (the first join owns the whole space).
   dht::NodeHandle join_at(const Point& point);
 
-  const CanNode& node_state(dht::NodeHandle handle) const;
+  // node_state/node_of/node_at come from dht::ArenaNetwork<CanNode>.
 
   /// Zone volume owned by a node (1.0 totals across the network).
   double volume_of(dht::NodeHandle handle) const;
 
   /// True when one of the node's zones contains `p`.
   bool node_owns_point(dht::NodeHandle handle, const Point& p) const;
+  bool node_owns_point(const CanNode& node, const Point& p) const;
   /// Squared torus distance from the node's nearest zone to `p`.
   double node_distance2(dht::NodeHandle handle, const Point& p) const;
+  double node_distance2(const CanNode& node, const Point& p) const;
 
   /// Structural invariants (zones tile the torus, adjacency is symmetric
   /// and correct) — cheap enough for tests to call after every operation.
@@ -110,18 +112,16 @@ class CanNetwork final : public dht::DhtNetwork {
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)
       const override;
-  CanNode* find(dht::NodeHandle handle);
-  const CanNode* find(dht::NodeHandle handle) const;
 
   bool zone_contains(const Zone& zone, const Point& p) const;
   /// Squared torus distance from the closest point of `zone` to `p`.
   double zone_distance2(const Zone& zone, const Point& p) const;
-  double node_distance2(const CanNode& node, const Point& p) const;
   bool zones_adjacent(const Zone& a, const Zone& b) const;
   bool nodes_adjacent(const CanNode& a, const CanNode& b) const;
 
-  /// Node whose zone contains `p` (every point is covered).
-  dht::NodeHandle node_at(const Point& p) const;
+  /// Node whose zone contains `p` (every point is covered). Named to stay
+  /// clear of the arena's slot-indexed node_at overloads.
+  dht::NodeHandle node_owning(const Point& p) const;
 
   /// Recompute adjacency between `node` and a candidate set (the union of
   /// the previous neighbourhoods of every party to a zone transfer).
@@ -140,7 +140,6 @@ class CanNetwork final : public dht::DhtNetwork {
 
   int dims_;
   std::uint64_t next_serial_ = 0;
-  std::unordered_map<dht::NodeHandle, std::unique_ptr<CanNode>> nodes_;
 };
 
 }  // namespace cycloid::can

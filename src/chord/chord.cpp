@@ -23,7 +23,7 @@ class ChordMaintenancePolicy final : public dht::MaintenancePolicy {
   explicit ChordMaintenancePolicy(ChordNetwork& net) : net_(net) {}
 
   void on_join(NodeHandle node) override {
-    ChordNode* state = net_.find(node);
+    ChordNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);
     net_.compute_state(*state);
     net_.refresh_ring_around(state->id);
@@ -31,7 +31,7 @@ class ChordMaintenancePolicy final : public dht::MaintenancePolicy {
 
   void on_graceful_leave(NodeHandle node) override {
     CYCLOID_EXPECTS(net_.contains(node));
-    const std::uint64_t id = net_.find(node)->id;
+    const std::uint64_t id = net_.node_of(node)->id;
     net_.unlink(node);
     if (!net_.ring_.empty()) net_.refresh_ring_around(id);
   }
@@ -44,28 +44,29 @@ class ChordMaintenancePolicy final : public dht::MaintenancePolicy {
 
   void repair_after_mass_leave() override {
     // Graceful departures repair the ring; fingers stay frozen.
-    for (const auto& [handle, node] : net_.nodes_) {
-      net_.note_maintenance(handle);  // mass departure: everyone re-checks
-      node->predecessor = net_.predecessor_of(node->id);
-      node->successors.clear();
-      std::uint64_t walk = node->id;
+    for (std::size_t slot = 0; slot < net_.node_count(); ++slot) {
+      ChordNode& node = net_.node_at(slot);
+      net_.note_maintenance(net_.handle_at(slot));  // everyone re-checks
+      node.predecessor = net_.predecessor_of(node.id);
+      node.successors.clear();
+      std::uint64_t walk = node.id;
       for (int s = 0; s < net_.successor_list_length_; ++s) {
         const NodeHandle succ =
             net_.successor_of((walk + 1) % net_.space_size_);
-        node->successors.push_back(succ);
+        node.successors.push_back(succ);
         walk = succ;
       }
     }
   }
 
   void refresh(NodeHandle node) override {
-    ChordNode* state = net_.find(node);
+    ChordNode* state = net_.node_of(node);
     if (state == nullptr) return;
     net_.compute_state(*state);
   }
 
   void dirty(dht::MembershipEvent event, NodeHandle node) override {
-    const ChordNode* state = net_.find(node);
+    const ChordNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
     const std::uint64_t id = state->id;
     if (net_.ring_.size() <= 1) return;  // nobody else references this node
@@ -153,13 +154,10 @@ std::unique_ptr<ChordNetwork> ChordNetwork::build_complete(int bits,
 
 bool ChordNetwork::insert(std::uint64_t id) {
   CYCLOID_EXPECTS(id < space_size_);
-  if (nodes_.contains(id)) return false;
+  if (contains(id)) return false;
 
-  auto node = std::make_unique<ChordNode>();
-  node->id = id;
-  nodes_.emplace(id, std::move(node));
+  create_node(id).id = id;
   ring_.emplace(id, id);
-  register_handle(id);
 
   // The engine runs ChordMaintenancePolicy::on_join (compute_state +
   // ring-neighbourhood refresh) under the join-repair cause scope; bulk
@@ -169,26 +167,9 @@ bool ChordNetwork::insert(std::uint64_t id) {
 }
 
 void ChordNetwork::unlink(NodeHandle handle) {
-  CYCLOID_EXPECTS(nodes_.contains(handle));
+  CYCLOID_EXPECTS(contains(handle));
   ring_.erase(handle);
-  unregister_handle(handle);
-  nodes_.erase(handle);
-}
-
-ChordNode* ChordNetwork::find(NodeHandle handle) {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const ChordNode* ChordNetwork::find(NodeHandle handle) const {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const ChordNode& ChordNetwork::node_state(NodeHandle handle) const {
-  const ChordNode* node = find(handle);
-  CYCLOID_EXPECTS(node != nullptr);
-  return *node;
+  destroy_node(handle);
 }
 
 std::vector<std::string> ChordNetwork::phase_names() const {
@@ -240,7 +221,7 @@ void ChordNetwork::refresh_ring_around(std::uint64_t id) {
   for (int i = 0; i <= successor_list_length_; ++i) {
     if (ring_.empty()) return;
     const NodeHandle handle = predecessor_of(cursor);
-    ChordNode* node = find(handle);
+    ChordNode* node = node_of(handle);
     CYCLOID_ASSERT(node != nullptr);
     // Repair the successor structure only; fingers remain as they were.
     const NodeHandle old_pred = node->predecessor;
@@ -262,7 +243,7 @@ void ChordNetwork::refresh_ring_around(std::uint64_t id) {
     // The node following `id` (strictly — after a join, `id` itself is
     // present and must not shadow its successor) gets a fresh predecessor.
     const NodeHandle next = successor_of((id + 1) % space_size_);
-    ChordNode* node = find(next);
+    ChordNode* node = node_of(next);
     CYCLOID_ASSERT(node != nullptr);
     const NodeHandle old_pred = node->predecessor;
     node->predecessor = predecessor_of(node->id);
@@ -284,11 +265,14 @@ class ChordStepPolicy final : public dht::StepPolicy {
       : net_(net), target_(target) {}
 
   bool alive(NodeHandle node) const override { return net_.contains(node); }
+  std::size_t slot_of(NodeHandle node) const override {
+    return net_.slot_of(node);
+  }
   int default_max_hops() const override { return 8 * net_.bits(); }
 
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const std::uint64_t space = net_.space_size();
-    const ChordNode& cur = net_.node_state(state.current());
+    const ChordNode& cur = net_.node_at(state.current_slot());
 
     // Owner check: key in (predecessor, cur].
     if (cur.predecessor == cur.id ||  // singleton ring

@@ -13,9 +13,9 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "dht/arena.hpp"
 #include "dht/network.hpp"
 #include "util/rng.hpp"
 
@@ -31,7 +31,7 @@ struct ChordNode {
   std::vector<dht::NodeHandle> fingers;
 };
 
-class ChordNetwork final : public dht::DhtNetwork {
+class ChordNetwork final : public dht::ArenaNetwork<ChordNode> {
  public:
   /// An empty network over a 2^bits identifier space.
   explicit ChordNetwork(int bits, int successor_list_length = 3);
@@ -56,7 +56,7 @@ class ChordNetwork final : public dht::DhtNetwork {
   /// Direct insertion at a specific identifier (false if occupied).
   bool insert(std::uint64_t id);
 
-  const ChordNode& node_state(dht::NodeHandle handle) const;
+  // node_state/node_of/node_at come from dht::ArenaNetwork<ChordNode>.
 
   /// Routing-phase slots in LookupResult::phase_hops.
   enum Phase : std::size_t { kFinger = 0, kSuccessor = 1 };
@@ -79,8 +79,6 @@ class ChordNetwork final : public dht::DhtNetwork {
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)
       const override;
-  ChordNode* find(dht::NodeHandle handle);
-  const ChordNode* find(dht::NodeHandle handle) const;
 
   /// First live identifier at or clockwise-after `id` (ground truth).
   dht::NodeHandle successor_of(std::uint64_t id) const;
@@ -97,7 +95,6 @@ class ChordNetwork final : public dht::DhtNetwork {
   std::uint64_t space_size_;
   int successor_list_length_;
 
-  std::unordered_map<dht::NodeHandle, std::unique_ptr<ChordNode>> nodes_;
   std::map<std::uint64_t, dht::NodeHandle> ring_;  // id -> handle (id == handle)
 };
 

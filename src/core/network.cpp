@@ -24,7 +24,7 @@ class CycloidMaintenancePolicy final : public dht::MaintenancePolicy {
   explicit CycloidMaintenancePolicy(CycloidNetwork& net) : net_(net) {}
 
   void on_join(NodeHandle node) override {
-    CycloidNode* state = net_.find(node);
+    CycloidNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);
     net_.compute_routing_table(*state);
     net_.refresh_leafsets_around(state->id.cubical);
@@ -51,20 +51,20 @@ class CycloidMaintenancePolicy final : public dht::MaintenancePolicy {
   void repair_after_mass_leave() override {
     // Graceful departures repair every leaf set; routing tables stay
     // frozen.
-    for (const auto& [handle, node] : net_.nodes_) {
-      net_.compute_leaf_sets(*node);
+    for (std::size_t slot = 0; slot < net_.node_count(); ++slot) {
+      net_.compute_leaf_sets(net_.node_at(slot));
     }
   }
 
   void refresh(NodeHandle node) override {
-    CycloidNode* state = net_.find(node);
+    CycloidNode* state = net_.node_of(node);
     if (state == nullptr) return;  // departed before its stabilization timer
     net_.compute_routing_table(*state);
     net_.compute_leaf_sets(*state);
   }
 
   void dirty(dht::MembershipEvent event, NodeHandle node) override {
-    const CycloidNode* state = net_.find(node);
+    const CycloidNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
     const CccId id = state->id;
 
@@ -141,7 +141,7 @@ class CycloidMaintenancePolicy final : public dht::MaintenancePolicy {
         util::flip_bit(id.cubical, static_cast<int>(m)) & ~(window - 1);
     for (auto it = level.lower_bound(base);
          it != level.end() && it->first < base + window; ++it) {
-      const CycloidNode* ref = net_.find(it->second);
+      const CycloidNode* ref = net_.node_of(it->second);
       CYCLOID_ASSERT(ref != nullptr);
       if (!join) {
         // Removing a non-selected candidate never changes the argmin.
@@ -224,15 +224,12 @@ std::unique_ptr<CycloidNetwork> CycloidNetwork::build_random(
 bool CycloidNetwork::insert(const CccId& id) {
   CYCLOID_EXPECTS(space_.valid(id));
   const NodeHandle handle = handle_of(id);
-  if (nodes_.contains(handle)) return false;
+  if (contains(handle)) return false;
 
-  auto node = std::make_unique<CycloidNode>();
-  node->id = id;
-  nodes_.emplace(handle, std::move(node));
+  create_node(handle).id = id;
   ring_.emplace(space_.ring_position(id), handle);
   by_level_[id.cyclic].emplace(id.cubical, handle);
   cycles_[id.cubical].emplace(id.cyclic, handle);
-  register_handle(handle);
 
   // The engine runs the join repairs (CycloidMaintenancePolicy::on_join)
   // under the join-repair cause scope. Bulk construction defers all
@@ -244,9 +241,9 @@ bool CycloidNetwork::insert(const CccId& id) {
 }
 
 void CycloidNetwork::unlink(NodeHandle handle) {
-  const auto it = nodes_.find(handle);
-  CYCLOID_EXPECTS(it != nodes_.end());
-  const CccId id = it->second->id;
+  const CycloidNode* node = node_of(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  const CccId id = node->id;
 
   ring_.erase(space_.ring_position(id));
   by_level_[id.cyclic].erase(id.cubical);
@@ -255,24 +252,7 @@ void CycloidNetwork::unlink(NodeHandle handle) {
   cycle_it->second.erase(id.cyclic);
   if (cycle_it->second.empty()) cycles_.erase(cycle_it);
 
-  unregister_handle(handle);
-  nodes_.erase(it);
-}
-
-CycloidNode* CycloidNetwork::find(NodeHandle handle) {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const CycloidNode* CycloidNetwork::find(NodeHandle handle) const {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const CycloidNode& CycloidNetwork::node_state(NodeHandle handle) const {
-  const CycloidNode* node = find(handle);
-  CYCLOID_EXPECTS(node != nullptr);
-  return *node;
+  destroy_node(handle);
 }
 
 std::string CycloidNetwork::name() const {
@@ -454,7 +434,7 @@ void CycloidNetwork::refresh_leafsets_around(std::uint64_t cubical) {
     const auto cycle_it = cycles_.find(c);
     if (cycle_it == cycles_.end()) continue;
     for (const auto& [cyclic, handle] : cycle_it->second) {
-      compute_leaf_sets(*find(handle));
+      compute_leaf_sets(*node_of(handle));
     }
   }
 }
@@ -548,6 +528,9 @@ class CycloidStepPolicy final : public dht::StepPolicy {
       : net_(net), key_(key) {}
 
   bool alive(NodeHandle node) const override { return net_.contains(node); }
+  std::size_t slot_of(NodeHandle node) const override {
+    return net_.slot_of(node);
+  }
   int default_max_hops() const override {
     return 8 * util::ceil_log2(net_.space().size());
   }
@@ -562,7 +545,7 @@ class CycloidStepPolicy final : public dht::StepPolicy {
 
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const CccSpace& space = net_.space();
-    const CycloidNode& cur = net_.node_state(state.current());
+    const CycloidNode& cur = net_.node_at(state.current_slot());
     const std::uint64_t cur_rank = space.closeness_rank(key_, cur.id);
 
     // Best strictly-improving leaf-set member (the traverse-cycle move and

@@ -13,11 +13,11 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/id.hpp"
 #include "core/node.hpp"
+#include "dht/arena.hpp"
 #include "dht/latency.hpp"
 #include "dht/network.hpp"
 #include "util/rng.hpp"
@@ -31,7 +31,7 @@ namespace cycloid::ccc {
 /// enum (dht/latency.hpp); the alias keeps the pre-hoist spelling.
 using NeighborSelection = dht::NeighborSelection;
 
-class CycloidNetwork final : public dht::DhtNetwork {
+class CycloidNetwork final : public dht::ArenaNetwork<CycloidNode> {
  public:
   /// An empty network over a d-dimensional CCC space. leaf_width 1 gives the
   /// paper's 7-entry node, leaf_width 2 the 11-entry variant.
@@ -69,8 +69,9 @@ class CycloidNetwork final : public dht::DhtNetwork {
   /// Used by builders and tests; join() is the protocol-level entry point.
   bool insert(const CccId& id);
 
-  /// Read-only view of a node's routing state (for tests and Table 2 dump).
-  const CycloidNode& node_state(dht::NodeHandle handle) const;
+  // node_state(handle) / node_of(handle) / node_at(slot) come from the
+  // shared storage plane (dht::ArenaNetwork<CycloidNode>): node objects
+  // live in the engine's slot-dense arena, not an overlay-owned map.
 
   /// Key -> CCC id mapping for this space.
   CccId key_id(dht::KeyHash key) const noexcept {
@@ -163,8 +164,6 @@ class CycloidNetwork final : public dht::DhtNetwork {
                                const dht::RouterOptions& options)
       const override;
 
-  CycloidNode* find(dht::NodeHandle handle);
-  const CycloidNode* find(dht::NodeHandle handle) const;
   bool alive(dht::NodeHandle handle) const { return contains(handle); }
 
   /// Compute the routing-table entries of `node` from the live membership
@@ -194,7 +193,6 @@ class CycloidNetwork final : public dht::DhtNetwork {
   int leaf_width_;
   NeighborSelection selection_;
 
-  std::unordered_map<dht::NodeHandle, std::unique_ptr<CycloidNode>> nodes_;
   /// Global ring: ring position -> handle (ordered by (cubical, cyclic)).
   std::map<std::uint64_t, dht::NodeHandle> ring_;
   /// Per cyclic level k: cubical index -> handle.

@@ -29,9 +29,9 @@ void LookupMetrics::bind(const DhtNetwork& net) {
 std::uint64_t LookupMetrics::query_load_of(NodeHandle node) const {
   std::uint64_t load = 0;
   if (slots_ != nullptr) {
-    const auto slot = slots_->find(node);
-    if (slot != slots_->end() && slot->second < query_load_dense_.size()) {
-      load = query_load_dense_[slot->second];
+    const std::size_t slot = slots_->lookup(node);
+    if (slot != kNoSlot && slot < query_load_dense_.size()) {
+      load = query_load_dense_[slot];
     }
   }
   const auto it = query_load_overflow_.find(node);

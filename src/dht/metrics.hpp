@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dht/slot_index.hpp"
 #include "dht/types.hpp"
 
 namespace cycloid::dht {
@@ -70,16 +71,25 @@ class LookupMetrics {
   /// Count one lookup message received by `node` (intermediate or final).
   void count_query(NodeHandle node) {
     if (slots_ != nullptr) {
-      const auto it = slots_->find(node);
-      if (it != slots_->end()) {
-        if (it->second >= query_load_dense_.size()) {
-          query_load_dense_.resize(it->second + 1, 0);  // post-bind joins
-        }
-        ++query_load_dense_[it->second];
+      const std::size_t slot = slots_->lookup(node);
+      if (slot != kNoSlot) {
+        charge_slot(slot);
         return;
       }
     }
     ++query_load_overflow_[node];
+  }
+
+  /// count_query when the caller already resolved `node`'s slot (the
+  /// router carries the current slot through the hop loop, so the charge
+  /// is a bare array increment — no hash probe). `slot` must be `node`'s
+  /// slot in the bound network, or kNoSlot when unknown.
+  void count_query_at(std::size_t slot, NodeHandle node) {
+    if (slots_ != nullptr && slot != kNoSlot) {
+      charge_slot(slot);
+      return;
+    }
+    count_query(node);
   }
   std::uint64_t query_load_of(NodeHandle node) const;
   /// Per-node loads in the network's canonical node order — one entry per
@@ -120,14 +130,21 @@ class LookupMetrics {
   void merge(const LookupMetrics& other);
 
  private:
+  void charge_slot(std::size_t slot) {
+    if (slot >= query_load_dense_.size()) {
+      query_load_dense_.resize(slot + 1, 0);  // post-bind joins
+    }
+    ++query_load_dense_[slot];
+  }
+
   void merge_query_load(const LookupMetrics& other);
 
   /// Bound network (cold-path operations: materializing handle-keyed views,
   /// folding the dense plane into an unbound sink on merge).
   const DhtNetwork* net_ = nullptr;
-  /// The bound network's handle -> slot index (hot path; pointer to the map
-  /// object itself, which outlives any rehash).
-  const std::unordered_map<NodeHandle, std::size_t>* slots_ = nullptr;
+  /// The bound network's handle -> slot index (hot path; pointer to the
+  /// index object itself, which outlives any rehash).
+  const SlotIndex* slots_ = nullptr;
   /// Query load by node slot (bound sinks).
   std::vector<std::uint64_t> query_load_dense_;
   /// Query load by handle (unbound sinks; handles unknown to the network).

@@ -37,13 +37,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "dht/latency.hpp"
 #include "dht/maintenance.hpp"
 #include "dht/metrics.hpp"
 #include "dht/router.hpp"
+#include "dht/slot_index.hpp"
 #include "dht/types.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -63,15 +63,18 @@ class DhtNetwork {
 
   // Membership registry --------------------------------------------------
   // The base class owns the dense handle list every overlay used to keep
-  // privately: a swap-remove vector plus a handle -> position map,
-  // maintained by the overlays through register_handle/unregister_handle.
-  // It gives O(1) node_count/contains/random_node, and — because a node's
-  // position is stable between membership changes — a *slot* identity that
+  // privately: a swap-remove vector plus an open-addressing handle -> slot
+  // index (SlotIndex), maintained by the overlays through
+  // register_handle/unregister_handle. It gives O(1)
+  // node_count/contains/random_node, and — because a node's position is
+  // stable between membership changes — a *slot* identity that
   // LookupMetrics uses to charge query load into a dense vector instead of
-  // a hash map (the lookup hot path).
+  // a hash map, and that ArenaNetwork (dht/arena.hpp) uses to store every
+  // overlay's node state in one contiguous slot-aligned arena (the lookup
+  // hot path).
 
-  /// Sentinel returned by slot_of for non-members.
-  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  /// Sentinel returned by slot_of for non-members (alias of dht::kNoSlot).
+  static constexpr std::size_t kNoSlot = dht::kNoSlot;
 
   /// Number of live participants.
   std::size_t node_count() const noexcept { return handle_vec_.size(); }
@@ -90,8 +93,7 @@ class DhtNetwork {
   /// Stable between membership changes; swap-remove reuses the departing
   /// node's slot for the tail node.
   std::size_t slot_of(NodeHandle node) const {
-    const auto it = handle_pos_.find(node);
-    return it == handle_pos_.end() ? kNoSlot : it->second;
+    return handle_pos_.lookup(node);
   }
 
   /// Inverse of slot_of for live slots.
@@ -101,10 +103,8 @@ class DhtNetwork {
   }
 
   /// The full handle -> slot index (LookupMetrics::bind keeps a pointer to
-  /// the map object, which outlives rehashes).
-  const std::unordered_map<NodeHandle, std::size_t>& slot_index() const {
-    return handle_pos_;
-  }
+  /// the index object, which outlives rehashes).
+  const SlotIndex& slot_index() const { return handle_pos_; }
 
   /// Handles of all live nodes (ascending identifier order). The base
   /// implementation sorts a copy of the dense handle registry, which is the
@@ -360,16 +360,17 @@ class DhtNetwork {
   /// across the swap-remove.
   void register_handle(NodeHandle node) {
     maintainer_.metrics_for_registry().on_register(handle_vec_.size());
-    handle_pos_.emplace(node, handle_vec_.size());
+    handle_pos_.insert(node, handle_vec_.size());
     handle_vec_.push_back(node);
   }
   void unregister_handle(NodeHandle node) {
-    const std::size_t pos = handle_pos_.at(node);
+    const std::size_t pos = handle_pos_.lookup(node);
+    CYCLOID_EXPECTS(pos != kNoSlot);
     maintainer_.metrics_for_registry().on_unregister(pos,
                                                      handle_vec_.size() - 1);
     const NodeHandle moved = handle_vec_.back();
     handle_vec_[pos] = moved;
-    handle_pos_[moved] = pos;
+    handle_pos_.set(moved, pos);
     handle_vec_.pop_back();
     handle_pos_.erase(node);
   }
@@ -413,7 +414,7 @@ class DhtNetwork {
   /// Dense handle list + positions: O(1) random_node and removal, and the
   /// stable slot identity behind slot_of/handle_at.
   std::vector<NodeHandle> handle_vec_;
-  std::unordered_map<NodeHandle, std::size_t> handle_pos_;
+  SlotIndex handle_pos_;
   /// Between begin_bulk() and finish_bulk(): inserts defer table work.
   bool bulk_building_ = false;
   /// The mutation-plane engine (declared last; it only stores a reference

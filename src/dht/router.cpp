@@ -57,6 +57,7 @@ LookupResult Router::run(StepPolicy& policy, NodeHandle from,
   LookupResult result;
   RouteState state(policy, sink, result, scratch);
   state.current_ = from;
+  state.current_slot_ = policy.slot_of(from);
   if (policy.track_visited()) scratch.visited.push_back(from);
 
   const int max_hops =
@@ -93,7 +94,11 @@ LookupResult Router::run(StepPolicy& policy, NodeHandle from,
     }
 
     result.count_hop(decision.phase);
-    sink.count_query(decision.next);
+    // Resolve the receiver's registry slot once; it both charges the
+    // query-load plane and becomes the next hop's current_slot, so the
+    // policy's state access needs no hash probe of its own.
+    const std::size_t next_slot = policy.slot_of(decision.next);
+    sink.count_query_at(next_slot, decision.next);
     if (options.trace != nullptr || options.price_links) {
       const double latency =
           policy.link_latency(state.current_, decision.next);
@@ -106,6 +111,7 @@ LookupResult Router::run(StepPolicy& policy, NodeHandle from,
     }
     state.timeouts_at_last_hop_ = result.timeouts;
     state.current_ = decision.next;
+    state.current_slot_ = next_slot;
     if (policy.track_visited()) scratch.visited.push_back(decision.next);
     // Sender-decided delivery: the hop completes the lookup without
     // consulting the receiving node's (possibly stale) local view.

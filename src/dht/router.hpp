@@ -128,6 +128,18 @@ class StepPolicy {
   /// Liveness probe behind RouteState::attempt().
   virtual bool alive(NodeHandle node) const = 0;
 
+  /// Dense registry slot of `node`, kNoSlot when unknown. Overlay policies
+  /// forward to DhtNetwork::slot_of; the engine resolves each forwarding
+  /// target's slot ONCE and carries it (RouteState::current_slot), so the
+  /// policy reaches the current node's state by array index
+  /// (ArenaNetwork::node_at) and query-load charging skips its hash probe.
+  /// The default keeps slot-less synthetic policies (engine unit tests)
+  /// working: everything falls back to the handle-keyed paths.
+  virtual std::size_t slot_of(NodeHandle node) const {
+    (void)node;
+    return kNoSlot;
+  }
+
   /// Default hop cap when RouterOptions::max_hops is 0. Convention:
   /// 8 * bits of the overlay's identifier space.
   virtual int default_max_hops() const = 0;
@@ -156,6 +168,11 @@ class RouteState {
  public:
   /// Node currently holding the request.
   NodeHandle current() const noexcept { return current_; }
+  /// Dense registry slot of current(), resolved once per hop by the engine
+  /// via StepPolicy::slot_of (kNoSlot for slot-less policies). Overlay
+  /// policies use it to reach the current node's arena state without a
+  /// hash probe: net_.node_at(state.current_slot()).
+  std::size_t current_slot() const noexcept { return current_slot_; }
   /// Message forwardings so far.
   int hops() const noexcept { return result_.hops; }
   /// Timeouts charged so far.
@@ -209,6 +226,7 @@ class RouteState {
   /// caller's reusable scratch or Router::run's per-call local.
   RouterScratch& scratch_;
   NodeHandle current_ = kNoNode;
+  std::size_t current_slot_ = kNoSlot;
   bool fallback_ = false;
   int steps_ = 0;
   int timeouts_at_last_hop_ = 0;

@@ -16,6 +16,10 @@ using NodeHandle = std::uint64_t;
 /// Sentinel for "no such node".
 inline constexpr NodeHandle kNoNode = ~0ULL;
 
+/// Sentinel for "no such slot" in the dense handle registry
+/// (DhtNetwork::slot_of and the slot-carrying routing engine).
+inline constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
 /// A 64-bit consistent hash of a key name; overlays reduce it into their own
 /// identifier spaces internally.
 using KeyHash = std::uint64_t;

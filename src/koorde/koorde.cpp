@@ -24,7 +24,7 @@ class KoordeMaintenancePolicy final : public dht::MaintenancePolicy {
   explicit KoordeMaintenancePolicy(KoordeNetwork& net) : net_(net) {}
 
   void on_join(NodeHandle node) override {
-    KoordeNode* state = net_.find(node);
+    KoordeNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);
     net_.compute_state(*state);
     net_.refresh_ring_around(state->id);
@@ -32,7 +32,7 @@ class KoordeMaintenancePolicy final : public dht::MaintenancePolicy {
 
   void on_graceful_leave(NodeHandle node) override {
     CYCLOID_EXPECTS(net_.contains(node));
-    const std::uint64_t id = net_.find(node)->id;
+    const std::uint64_t id = net_.node_of(node)->id;
     net_.unlink(node);
     if (!net_.ring_.empty()) net_.refresh_ring_around(id);
   }
@@ -41,17 +41,19 @@ class KoordeMaintenancePolicy final : public dht::MaintenancePolicy {
 
   void repair_after_mass_leave() override {
     // Graceful departures repair the ring; de Bruijn pointers stay frozen.
-    for (const auto& [handle, node] : net_.nodes_) net_.repair_ring(*node);
+    for (std::size_t slot = 0; slot < net_.node_count(); ++slot) {
+      net_.repair_ring(net_.node_at(slot));
+    }
   }
 
   void refresh(NodeHandle node) override {
-    KoordeNode* state = net_.find(node);
+    KoordeNode* state = net_.node_of(node);
     if (state == nullptr) return;
     net_.compute_state(*state);
   }
 
   void dirty(dht::MembershipEvent event, NodeHandle node) override {
-    const KoordeNode* state = net_.find(node);
+    const KoordeNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
     const std::uint64_t id = state->id;
     if (net_.ring_.size() <= 1) return;  // nobody else references this node
@@ -159,13 +161,10 @@ std::unique_ptr<KoordeNetwork> KoordeNetwork::build_complete(int bits,
 
 bool KoordeNetwork::insert(std::uint64_t id) {
   CYCLOID_EXPECTS(id < space_size_);
-  if (nodes_.contains(id)) return false;
+  if (contains(id)) return false;
 
-  auto node = std::make_unique<KoordeNode>();
-  node->id = id;
-  nodes_.emplace(id, std::move(node));
+  create_node(id).id = id;
   ring_.emplace(id, id);
-  register_handle(id);
 
   // Bulk construction defers derived state to finish_bulk's stabilize pass
   // (which recomputes it from final membership anyway).
@@ -174,26 +173,9 @@ bool KoordeNetwork::insert(std::uint64_t id) {
 }
 
 void KoordeNetwork::unlink(NodeHandle handle) {
-  CYCLOID_EXPECTS(nodes_.contains(handle));
+  CYCLOID_EXPECTS(contains(handle));
   ring_.erase(handle);
-  unregister_handle(handle);
-  nodes_.erase(handle);
-}
-
-KoordeNode* KoordeNetwork::find(NodeHandle handle) {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const KoordeNode* KoordeNetwork::find(NodeHandle handle) const {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const KoordeNode& KoordeNetwork::node_state(NodeHandle handle) const {
-  const KoordeNode* node = find(handle);
-  CYCLOID_EXPECTS(node != nullptr);
-  return *node;
+  destroy_node(handle);
 }
 
 std::vector<std::string> KoordeNetwork::phase_names() const {
@@ -255,7 +237,7 @@ void KoordeNetwork::refresh_ring_around(std::uint64_t id) {
   for (int i = 0; i <= successor_list_length_; ++i) {
     if (ring_.empty()) return;
     const NodeHandle handle = predecessor_of(cursor);
-    KoordeNode* node = find(handle);
+    KoordeNode* node = node_of(handle);
     CYCLOID_ASSERT(node != nullptr);
     repair_ring(*node);
     cursor = node->id;
@@ -263,7 +245,7 @@ void KoordeNetwork::refresh_ring_around(std::uint64_t id) {
   if (!ring_.empty()) {
     // Strictly after `id`: a freshly joined node must not shadow its
     // successor here.
-    KoordeNode* next = find(successor_of((id + 1) % space_size_));
+    KoordeNode* next = node_of(successor_of((id + 1) % space_size_));
     CYCLOID_ASSERT(next != nullptr);
     next->predecessor = predecessor_of(next->id);
   }
@@ -281,7 +263,7 @@ KoordeNetwork::ImaginaryStart KoordeNetwork::best_start(
   // lookup loop will detect the dead ring and fail.
   const KoordeNode* succ = nullptr;
   for (const NodeHandle sh : node.successors) {
-    succ = find(sh);
+    succ = node_of(sh);
     if (succ != nullptr) break;
   }
   if (succ == nullptr) return ImaginaryStart{node.id, key & mask, bits_};
@@ -327,13 +309,16 @@ class KoordeStepPolicy final : public dht::StepPolicy {
       : net_(net), target_(target), path_(path) {}
 
   bool alive(NodeHandle node) const override { return net_.contains(node); }
+  std::size_t slot_of(NodeHandle node) const override {
+    return net_.slot_of(node);
+  }
   int default_max_hops() const override { return 8 * net_.bits(); }
 
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const std::uint64_t space = net_.space_size();
     const std::uint64_t mask = space - 1;
     const int shift = net_.shift_bits();
-    const KoordeNode& cur = net_.node_state(state.current());
+    const KoordeNode& cur = net_.node_at(state.current_slot());
 
     // A de Bruijn step whose real predecessor is the current node itself is
     // a local digit injection, not a message: loop here until a decision
@@ -408,7 +393,7 @@ class KoordeStepPolicy final : public dht::StepPolicy {
 LookupResult KoordeNetwork::route_impl(NodeHandle from, dht::KeyHash key,
                                   dht::LookupMetrics& sink,
                                   const dht::RouterOptions& options) const {
-  const KoordeNode* source = find(from);
+  const KoordeNode* source = node_of(from);
   CYCLOID_EXPECTS(source != nullptr);
   const std::uint64_t target = key & (space_size_ - 1);
   KoordeStepPolicy policy(*this, target, best_start(*source, target));
@@ -417,7 +402,7 @@ LookupResult KoordeNetwork::route_impl(NodeHandle from, dht::KeyHash key,
 
 void KoordeNetwork::apply_repairs(const dht::LookupMetrics& batch) {
   for (const auto& [handle, promoted] : batch.learned_links()) {
-    KoordeNode* node = find(handle);
+    KoordeNode* node = node_of(handle);
     if (node == nullptr || node->de_bruijn == promoted) continue;
     const auto it = std::find(node->db_backups.begin(),
                               node->db_backups.end(), promoted);
@@ -431,7 +416,7 @@ void KoordeNetwork::apply_repairs(const dht::LookupMetrics& batch) {
     mark_dirty(handle);
   }
   for (const NodeHandle handle : batch.broken_links()) {
-    KoordeNode* node = find(handle);
+    KoordeNode* node = node_of(handle);
     if (node == nullptr || node->db_broken) continue;
     node->db_broken = true;
     note_maintenance(handle);

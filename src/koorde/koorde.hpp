@@ -24,9 +24,9 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "dht/arena.hpp"
 #include "dht/network.hpp"
 #include "util/rng.hpp"
 
@@ -41,7 +41,7 @@ struct KoordeNode {
   bool db_broken = false;  // pointer and all backups found dead
 };
 
-class KoordeNetwork final : public dht::DhtNetwork {
+class KoordeNetwork final : public dht::ArenaNetwork<KoordeNode> {
  public:
   /// `shift_bits` selects the de Bruijn degree 2^shift_bits: each de Bruijn
   /// hop corrects shift_bits bits of the key, so lookups take ~bits/shift_bits
@@ -68,7 +68,7 @@ class KoordeNetwork final : public dht::DhtNetwork {
   std::uint64_t space_size() const noexcept { return space_size_; }
 
   bool insert(std::uint64_t id);
-  const KoordeNode& node_state(dht::NodeHandle handle) const;
+  // node_state/node_of/node_at come from dht::ArenaNetwork<KoordeNode>.
 
   enum Phase : std::size_t { kDeBruijn = 0, kSuccessor = 1 };
 
@@ -108,8 +108,6 @@ class KoordeNetwork final : public dht::DhtNetwork {
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)
       const override;
-  KoordeNode* find(dht::NodeHandle handle);
-  const KoordeNode* find(dht::NodeHandle handle) const;
 
   dht::NodeHandle successor_of(std::uint64_t id) const;
   dht::NodeHandle predecessor_of(std::uint64_t id) const;  // strictly before
@@ -126,7 +124,6 @@ class KoordeNetwork final : public dht::DhtNetwork {
   int backup_count_;
   int shift_bits_;
 
-  std::unordered_map<dht::NodeHandle, std::unique_ptr<KoordeNode>> nodes_;
   std::map<std::uint64_t, dht::NodeHandle> ring_;
 };
 

@@ -26,7 +26,7 @@ class PastryMaintenancePolicy final : public dht::MaintenancePolicy {
   explicit PastryMaintenancePolicy(PastryNetwork& net) : net_(net) {}
 
   void on_join(NodeHandle node) override {
-    PastryNode* state = net_.find(node);
+    PastryNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);
     net_.compute_leaf_sets(*state);
     net_.compute_routing_table(*state);
@@ -36,7 +36,7 @@ class PastryMaintenancePolicy final : public dht::MaintenancePolicy {
 
   void on_graceful_leave(NodeHandle node) override {
     CYCLOID_EXPECTS(net_.contains(node));
-    const std::uint64_t id = net_.find(node)->id;
+    const std::uint64_t id = net_.node_of(node)->id;
     net_.unlink(node);
     if (!net_.ring_.empty()) net_.refresh_leafsets_around(id);
   }
@@ -45,13 +45,13 @@ class PastryMaintenancePolicy final : public dht::MaintenancePolicy {
 
   void repair_after_mass_leave() override {
     // Graceful departures repair the leaf sets; routing tables stay frozen.
-    for (const auto& [handle, node] : net_.nodes_) {
-      net_.compute_leaf_sets(*node);
+    for (std::size_t slot = 0; slot < net_.node_count(); ++slot) {
+      net_.compute_leaf_sets(net_.node_at(slot));
     }
   }
 
   void refresh(NodeHandle node) override {
-    PastryNode* state = net_.find(node);
+    PastryNode* state = net_.node_of(node);
     if (state == nullptr) return;
     net_.compute_leaf_sets(*state);
     net_.compute_routing_table(*state);
@@ -59,7 +59,7 @@ class PastryMaintenancePolicy final : public dht::MaintenancePolicy {
   }
 
   void dirty(dht::MembershipEvent event, NodeHandle node) override {
-    const PastryNode* state = net_.find(node);
+    const PastryNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
     if (net_.ring_.size() <= 1) return;  // nobody else references this node
 
@@ -114,7 +114,7 @@ class PastryMaintenancePolicy final : public dht::MaintenancePolicy {
            it != ring.end() && it->first < start + span; ++it) {
         const std::uint64_t x = it->first;
         if (net_.digit(x, row) == col) continue;  // deeper row (and J itself)
-        const PastryNode* ref = net_.find(it->second);
+        const PastryNode* ref = net_.node_of(it->second);
         CYCLOID_ASSERT(ref != nullptr);
         const auto& table = ref->routing_table;
         if (table.size() != static_cast<std::size_t>(net_.rows_)) {
@@ -153,23 +153,25 @@ class PastryMaintenancePolicy final : public dht::MaintenancePolicy {
     if (net_.neighborhood_size_ == 0) return;
     const std::size_t m =
         static_cast<std::size_t>(net_.neighborhood_size_);
-    for (const auto& [handle, other] : net_.nodes_) {
+    for (std::size_t slot = 0; slot < net_.node_count(); ++slot) {
+      const NodeHandle handle = net_.handle_at(slot);
       if (handle == changed) continue;
+      const PastryNode& other = net_.node_at(slot);
       if (!join) {
-        if (std::find(other->neighborhood.begin(), other->neighborhood.end(),
-                      changed) != other->neighborhood.end()) {
+        if (std::find(other.neighborhood.begin(), other.neighborhood.end(),
+                      changed) != other.neighborhood.end()) {
           net_.mark_dirty(handle);
         }
         continue;
       }
-      if (other->neighborhood.size() < m) {
+      if (other.neighborhood.size() < m) {
         net_.mark_dirty(handle);
         continue;
       }
-      const PastryNode* farthest = net_.find(other->neighborhood.back());
+      const PastryNode* farthest = net_.node_of(other.neighborhood.back());
       if (farthest == nullptr ||  // stale entry: be conservative
-          net_.proximity(*other, state) <=
-              net_.proximity(*other, *farthest)) {
+          net_.proximity(other, state) <=
+              net_.proximity(other, *farthest)) {
         net_.mark_dirty(handle);
       }
     }
@@ -222,15 +224,13 @@ int PastryNetwork::shared_prefix_digits(std::uint64_t a,
 
 bool PastryNetwork::insert(std::uint64_t id, double x, double y) {
   CYCLOID_EXPECTS(id < space_size_);
-  if (nodes_.contains(id)) return false;
+  if (contains(id)) return false;
 
-  auto node = std::make_unique<PastryNode>();
-  node->id = id;
-  node->x = x;
-  node->y = y;
-  nodes_.emplace(id, std::move(node));
+  PastryNode& node = create_node(id);
+  node.id = id;
+  node.x = x;
+  node.y = y;
   ring_.emplace(id, id);
-  register_handle(id);
 
   // Bulk construction defers derived state to finish_bulk's stabilize pass
   // (which recomputes it from final membership anyway) — for Pastry this
@@ -240,26 +240,9 @@ bool PastryNetwork::insert(std::uint64_t id, double x, double y) {
 }
 
 void PastryNetwork::unlink(NodeHandle handle) {
-  CYCLOID_EXPECTS(nodes_.contains(handle));
+  CYCLOID_EXPECTS(contains(handle));
   ring_.erase(handle);
-  unregister_handle(handle);
-  nodes_.erase(handle);
-}
-
-PastryNode* PastryNetwork::find(NodeHandle handle) {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const PastryNode* PastryNetwork::find(NodeHandle handle) const {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const PastryNode& PastryNetwork::node_state(NodeHandle handle) const {
-  const PastryNode* node = find(handle);
-  CYCLOID_EXPECTS(node != nullptr);
-  return *node;
+  destroy_node(handle);
 }
 
 std::vector<std::string> PastryNetwork::phase_names() const {
@@ -370,10 +353,11 @@ void PastryNetwork::compute_neighborhood(PastryNode& node) {
   if (neighborhood_size_ == 0) return;
   // |M| proximity-nearest nodes (linear scan; refreshed by stabilization).
   std::vector<std::pair<double, NodeHandle>> ranked;
-  ranked.reserve(nodes_.size());
-  for (const auto& [handle, other] : nodes_) {
+  ranked.reserve(node_count());
+  for (std::size_t slot = 0; slot < node_count(); ++slot) {
+    const NodeHandle handle = handle_at(slot);
     if (handle == node.id) continue;
-    ranked.emplace_back(proximity(node, *other), handle);
+    ranked.emplace_back(proximity(node, node_at(slot)), handle);
   }
   const std::size_t keep = std::min<std::size_t>(
       static_cast<std::size_t>(neighborhood_size_), ranked.size());
@@ -391,7 +375,7 @@ void PastryNetwork::refresh_leafsets_around(std::uint64_t id) {
   for (int i = 0; i < leaf_half_ + 1; ++i) {
     if (ring_.empty()) return;
     const NodeHandle handle = predecessor_of(cursor);
-    PastryNode* node = find(handle);
+    PastryNode* node = node_of(handle);
     CYCLOID_ASSERT(node != nullptr);
     compute_leaf_sets(*node);
     cursor = node->id;
@@ -401,7 +385,7 @@ void PastryNetwork::refresh_leafsets_around(std::uint64_t id) {
   for (int i = 0; i < leaf_half_ + 1; ++i) {
     if (ring_.empty()) return;
     const NodeHandle handle = successor_of((cursor + 1) % space_size_);
-    PastryNode* node = find(handle);
+    PastryNode* node = node_of(handle);
     CYCLOID_ASSERT(node != nullptr);
     compute_leaf_sets(*node);
     cursor = node->id;
@@ -440,6 +424,9 @@ class PastryStepPolicy final : public dht::StepPolicy {
       : net_(net), target_(target) {}
 
   bool alive(NodeHandle node) const override { return net_.contains(node); }
+  std::size_t slot_of(NodeHandle node) const override {
+    return net_.slot_of(node);
+  }
   int default_max_hops() const override { return 8 * net_.bits(); }
   int fallback_budget() const override {
     return 8 * net_.digit_count() + 64;
@@ -447,7 +434,7 @@ class PastryStepPolicy final : public dht::StepPolicy {
 
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const std::uint64_t space = net_.space_size();
-    const PastryNode& cur = net_.node_state(state.current());
+    const PastryNode& cur = net_.node_at(state.current_slot());
     if (cur.id == target_) return dht::HopDecision::deliver();
 
     // Strictly-improving leaf-set candidate under the numeric metric.

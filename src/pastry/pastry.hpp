@@ -23,9 +23,9 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "dht/arena.hpp"
 #include "dht/network.hpp"
 #include "util/rng.hpp"
 
@@ -43,7 +43,7 @@ struct PastryNode {
   std::vector<dht::NodeHandle> neighborhood;  // closest by proximity
 };
 
-class PastryNetwork final : public dht::DhtNetwork {
+class PastryNetwork final : public dht::ArenaNetwork<PastryNode> {
  public:
   /// Identifier space of 2^bits ids read as bits/bits_per_digit digits of
   /// base 2^bits_per_digit. `bits` must be divisible by `bits_per_digit`.
@@ -65,7 +65,7 @@ class PastryNetwork final : public dht::DhtNetwork {
   /// Insert at an explicit identifier with explicit proximity coordinates.
   bool insert(std::uint64_t id, double x, double y);
 
-  const PastryNode& node_state(dht::NodeHandle handle) const;
+  // node_state/node_of/node_at come from dht::ArenaNetwork<PastryNode>.
 
   /// Value of digit `row` (0 = most significant) of an identifier.
   int digit(std::uint64_t id, int row) const;
@@ -93,8 +93,6 @@ class PastryNetwork final : public dht::DhtNetwork {
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)
       const override;
-  PastryNode* find(dht::NodeHandle handle);
-  const PastryNode* find(dht::NodeHandle handle) const;
 
   dht::NodeHandle successor_of(std::uint64_t id) const;   // at or after
   dht::NodeHandle predecessor_of(std::uint64_t id) const; // strictly before
@@ -118,7 +116,6 @@ class PastryNetwork final : public dht::DhtNetwork {
   int leaf_half_;
   int neighborhood_size_;
 
-  std::unordered_map<dht::NodeHandle, std::unique_ptr<PastryNode>> nodes_;
   std::map<std::uint64_t, dht::NodeHandle> ring_;
 };
 

@@ -100,13 +100,11 @@ bool ViceroyNetwork::insert(double id, int level) {
   if (ring_.contains(id)) return false;
 
   const NodeHandle handle = next_serial_++;
-  auto node = std::make_unique<ViceroyNode>();
-  node->id = id;
-  node->level = level;
-  nodes_.emplace(handle, std::move(node));
+  ViceroyNode& node = create_node(handle);
+  node.id = id;
+  node.level = level;
   ring_.emplace(id, handle);
   levels_[level].emplace(id, handle);
-  register_handle(handle);
   notify_joined(handle);
   return true;
 }
@@ -127,33 +125,19 @@ std::uint64_t ViceroyNetwork::count_referencers(NodeHandle handle) const {
 }
 
 void ViceroyNetwork::unlink(NodeHandle handle) {
-  const auto it = nodes_.find(handle);
-  CYCLOID_EXPECTS(it != nodes_.end());
-  const ViceroyNode& node = *it->second;
-  ring_.erase(node.id);
-  auto level_it = levels_.find(node.level);
+  const ViceroyNode* node = node_of(handle);
+  CYCLOID_EXPECTS(node != nullptr);
+  // destroy_node swap-moves the arena tail into this slot, so the index
+  // keys are copied out before the node object goes away.
+  const double id = node->id;
+  const int level = node->level;
+  ring_.erase(id);
+  auto level_it = levels_.find(level);
   CYCLOID_ASSERT(level_it != levels_.end());
-  level_it->second.erase(node.id);
+  level_it->second.erase(id);
   if (level_it->second.empty()) levels_.erase(level_it);
 
-  unregister_handle(handle);
-  nodes_.erase(it);
-}
-
-ViceroyNode* ViceroyNetwork::find(NodeHandle handle) {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const ViceroyNode* ViceroyNetwork::find(NodeHandle handle) const {
-  const auto it = nodes_.find(handle);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const ViceroyNode& ViceroyNetwork::node_state(NodeHandle handle) const {
-  const ViceroyNode* node = find(handle);
-  CYCLOID_EXPECTS(node != nullptr);
-  return *node;
+  destroy_node(handle);
 }
 
 int ViceroyNetwork::max_level() const noexcept {
@@ -192,7 +176,7 @@ NodeHandle ViceroyNetwork::level_successor(int level, double id) const {
 }
 
 ViceroyLinks ViceroyNetwork::links_of(NodeHandle handle) const {
-  const ViceroyNode* node = find(handle);
+  const ViceroyNode* node = node_of(handle);
   CYCLOID_EXPECTS(node != nullptr);
   ViceroyLinks links;
   if (ring_.size() > 1) {
@@ -254,12 +238,15 @@ class ViceroyStepPolicy final : public dht::StepPolicy {
       : net_(net), target_(target) {}
 
   bool alive(NodeHandle node) const override { return net_.contains(node); }
+  std::size_t slot_of(NodeHandle node) const override {
+    return net_.slot_of(node);
+  }
   /// Continuous identifier space: 8 * the 64 bits of the key hash.
   int default_max_hops() const override { return 8 * 64; }
 
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const NodeHandle self = state.current();
-    const ViceroyNode& cur = net_.node_state(self);
+    const ViceroyNode& cur = net_.node_at(state.current_slot());
 
     // Stage 1 — ascend to a level-1 node via up links.
     if (stage_ == Stage::kAscending) {

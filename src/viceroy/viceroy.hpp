@@ -22,9 +22,9 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "dht/arena.hpp"
 #include "dht/network.hpp"
 #include "util/rng.hpp"
 
@@ -46,7 +46,7 @@ struct ViceroyLinks {
   dht::NodeHandle up = dht::kNoNode;
 };
 
-class ViceroyNetwork final : public dht::DhtNetwork {
+class ViceroyNetwork final : public dht::ArenaNetwork<ViceroyNode> {
  public:
   ViceroyNetwork();
 
@@ -61,7 +61,7 @@ class ViceroyNetwork final : public dht::DhtNetwork {
   /// Direct insertion (false when the identifier collides).
   bool insert(double id, int level);
 
-  const ViceroyNode& node_state(dht::NodeHandle handle) const;
+  // node_state/node_of/node_at come from dht::ArenaNetwork<ViceroyNode>.
   ViceroyLinks links_of(dht::NodeHandle handle) const;
 
   /// Current highest populated butterfly level.
@@ -97,8 +97,6 @@ class ViceroyNetwork final : public dht::DhtNetwork {
                                dht::LookupMetrics& sink,
                                const dht::RouterOptions& options)
       const override;
-  ViceroyNode* find(dht::NodeHandle handle);
-  const ViceroyNode* find(dht::NodeHandle handle) const;
 
   /// First node clockwise at-or-after `id` on the general ring.
   dht::NodeHandle successor_at(double id) const;
@@ -113,7 +111,6 @@ class ViceroyNetwork final : public dht::DhtNetwork {
 
   bool count_maintenance_ = false;
   std::uint64_t next_serial_ = 0;
-  std::unordered_map<dht::NodeHandle, std::unique_ptr<ViceroyNode>> nodes_;
   std::map<double, dht::NodeHandle> ring_;
   std::map<int, std::map<double, dht::NodeHandle>> levels_;
 };

@@ -67,6 +67,36 @@ TEST_F(EnvU64Test, MalformedValuesFallBack) {
   }
 }
 
+class BenchThreadsTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVar = "CYCLOID_BENCH_THREADS";
+  void TearDown() override { ::unsetenv(kVar); }
+  void set(const char* value) { ::setenv(kVar, value, 1); }
+};
+
+TEST_F(BenchThreadsTest, UnsetUsesHardwareDefault) {
+  ::unsetenv(kVar);
+  EXPECT_GE(threads(), 1);
+}
+
+TEST_F(BenchThreadsTest, ValidValueWins) {
+  set("3");
+  EXPECT_EQ(threads(), 3);
+  set("1");
+  EXPECT_EQ(threads(), 1);
+}
+
+TEST_F(BenchThreadsTest, GarbageZeroAndOversizeFallBack) {
+  ::unsetenv(kVar);
+  const int fallback = threads();
+  for (const char* bad : {"junk", "4t", "-2", "+2", "3.5", "", " 4", "0",
+                          "4294967296",            // u64-valid, absurd count
+                          "18446744073709551616"}) {  // 2^64: overflow
+    set(bad);
+    EXPECT_EQ(threads(), fallback) << "value: '" << bad << "'";
+  }
+}
+
 TEST(Report, WritesSectionsAsJson) {
   const std::string path = ::testing::TempDir() + "bench_report_test.json";
   const char* argv[] = {"bench_report_test", "--json", path.c_str()};
