@@ -17,6 +17,9 @@
 //                                 CI smoke sets 2048 — builds stay cheap)
 //   CYCLOID_BENCH_PERF_LOOKUPS    lookups per timed run (default 32768)
 //   CYCLOID_BENCH_THREADS         worker threads for the parallel runs
+//   CYCLOID_BENCH_INTERLEAVE      default in-flight lookup width for the
+//                                 main table's runs (the sweep table times
+//                                 W in {1, 2, 4, 8} regardless)
 //
 // Typical use: scripts/perf.sh, which writes BENCH_lookups.json via --json.
 #include <algorithm>
@@ -71,6 +74,12 @@ int main(int argc, char** argv) {
                        "1-thread lookups/s",
                        std::to_string(threads) + "-thread lookups/s",
                        "mean path", "ns/hop", "hops/s"});
+    // Interleave-width sweep (single-thread): the same lookup batch with
+    // W lookups kept in flight per shard through the batch router's
+    // prefetching lanes (DESIGN.md §14). Results are bit-identical at
+    // every W; only wall-clock changes.
+    util::Table sweep({"overlay", "nodes", "W", "time s", "lookups/s",
+                       "ns/hop", "speedup vs W=1"});
     for (const exp::OverlayKind kind : exp::extended_overlays()) {
       const auto build_start = std::chrono::steady_clock::now();
       const auto net = exp::make_sparse_overlay(
@@ -108,10 +117,38 @@ int main(int argc, char** argv) {
           .add(seq.mean_path(), 2)
           .add(total_hops > 0.0 ? seq_s * 1e9 / total_hops : 0.0, 1)
           .add(total_hops / seq_s, 0);
+
+      // The W = 1 row reuses the sequential timing above (it IS the W = 1
+      // configuration); wider rows re-time the identical workload.
+      sweep.row()
+          .add(exp::overlay_label(kind))
+          .add(n)
+          .add(1)
+          .add(seq_s, 3)
+          .add(static_cast<double>(lookups) / seq_s, 0)
+          .add(total_hops > 0.0 ? seq_s * 1e9 / total_hops : 0.0, 1)
+          .add(1.0, 2);
+      for (const int w : {2, 4, 8}) {
+        const auto w_start = std::chrono::steady_clock::now();
+        exp::run_lookup_batch(*net, lookups, bench::kBenchSeed + 2,
+                              /*threads=*/1, /*check_owner=*/true, w);
+        const double w_s = seconds_since(w_start);
+        sweep.row()
+            .add(exp::overlay_label(kind))
+            .add(n)
+            .add(w)
+            .add(w_s, 3)
+            .add(static_cast<double>(lookups) / w_s, 0)
+            .add(total_hops > 0.0 ? w_s * 1e9 / total_hops : 0.0, 1)
+            .add(seq_s / w_s, 2);
+      }
     }
     report.section("Lookup throughput, n = " + std::to_string(n) +
                        " (d = " + std::to_string(dim) + ")",
                    table);
+    report.section("Interleave sweep (1 thread), n = " + std::to_string(n) +
+                       " (d = " + std::to_string(dim) + ")",
+                   sweep);
   }
 
   report.note("\n(wall-clock numbers; not byte-stable run to run. Simulated\n"

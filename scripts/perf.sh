@@ -46,6 +46,13 @@ cmake --build "$build_dir" -j "$(nproc)" \
 python3 -m json.tool BENCH_lookups.json > /dev/null
 echo "wrote BENCH_lookups.json (valid JSON)"
 
+# Regression gate: per-overlay single-thread throughput, normalized by the
+# section's geometric mean so the check is machine-independent, against the
+# committed baseline. >20% relative slip on any overlay fails the run.
+# Refresh the baseline after an intentional perf change with
+#   scripts/perf_compare.py BENCH_lookups.json --update
+python3 scripts/perf_compare.py BENCH_lookups.json
+
 "$build_dir/bench/perf_build" --json BENCH_build.json "$@"
 python3 -m json.tool BENCH_build.json > /dev/null
 echo "wrote BENCH_build.json (valid JSON)"

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_lookups.json run against the committed baseline.
+
+Wall-clock lookups/sec depends on the machine, so absolute numbers are not
+comparable across hosts. Instead each overlay's single-thread throughput is
+normalized by the geometric mean of all overlays in the same section (same
+n): machine speed cancels, and what remains is each overlay's throughput
+*relative to the pack*. A code change that slows one overlay's hop loop
+shows up as that overlay falling behind its own baseline ratio, no matter
+how fast or slow the CI host is.
+
+Usage:
+  scripts/perf_compare.py BENCH_lookups.json                # compare
+  scripts/perf_compare.py BENCH_lookups.json --update       # refresh baseline
+  scripts/perf_compare.py BENCH_lookups.json \
+      --baseline bench/baselines/BENCH_lookups.json \
+      --tolerance 0.20
+
+Exit status: 0 on pass (including "no baseline yet" and "no overlapping
+sections"), 1 when any overlay's normalized throughput regressed by more
+than --tolerance, 2 on malformed input.
+
+A whole-program slowdown (every overlay slower by the same factor) is
+invisible to this check by construction — that is the price of being
+machine-independent. The absolute numbers stay in the JSON artifacts for
+eyeballing trends on a fixed CI host.
+"""
+
+import argparse
+import json
+import math
+import shutil
+import sys
+
+# The sections holding the per-overlay single-thread runs; the interleave
+# sweep sections are wall-clock re-timings of the same workload and would
+# double-count the same signal.
+SECTION_PREFIX = "Lookup throughput, n = "
+OVERLAY_COLUMN = "overlay"
+VALUE_COLUMN = "1-thread lookups/s"
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"perf_compare: cannot read {path}: {err}")
+
+
+def throughput_by_section(report, path):
+    """{section title: {overlay: 1-thread lookups/s}} for every
+    lookup-throughput section in the report."""
+    sections = {}
+    for section in report.get("sections", []):
+        title = section.get("title", "")
+        if not title.startswith(SECTION_PREFIX):
+            continue
+        columns = section.get("columns", [])
+        try:
+            overlay_idx = columns.index(OVERLAY_COLUMN)
+            # index() finds the single-thread column, not the N-thread one,
+            # because the single-thread column is emitted first.
+            value_idx = columns.index(VALUE_COLUMN)
+        except ValueError:
+            sys.exit(f"perf_compare: {path}: section '{title}' lacks "
+                     f"'{OVERLAY_COLUMN}'/'{VALUE_COLUMN}' columns")
+        rows = {}
+        for row in section.get("rows", []):
+            try:
+                value = float(row[value_idx])
+            except (IndexError, TypeError, ValueError):
+                sys.exit(f"perf_compare: {path}: non-numeric throughput in "
+                         f"section '{title}': {row!r}")
+            if value <= 0.0:
+                sys.exit(f"perf_compare: {path}: non-positive throughput in "
+                         f"section '{title}': {row!r}")
+            rows[str(row[overlay_idx])] = value
+        if rows:
+            sections[title] = rows
+    return sections
+
+
+def normalize(rows):
+    """Each overlay's throughput divided by the section's geometric mean."""
+    log_mean = sum(math.log(v) for v in rows.values()) / len(rows)
+    mean = math.exp(log_mean)
+    return {overlay: value / mean for overlay, value in rows.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_lookups.json against the committed baseline "
+                    "(geometric-mean-normalized per-overlay throughput).")
+    parser.add_argument("candidate", help="freshly generated BENCH_lookups.json")
+    parser.add_argument("--baseline",
+                        default="bench/baselines/BENCH_lookups.json",
+                        help="committed baseline document (default: "
+                             "%(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="maximum allowed relative regression of an "
+                             "overlay's normalized throughput (default: "
+                             "%(default)s)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy the candidate over the baseline instead "
+                             "of comparing")
+    args = parser.parse_args()
+    if not 0.0 < args.tolerance < 1.0:
+        parser.error("--tolerance must be in (0, 1)")
+
+    candidate = load_report(args.candidate)
+    if candidate is None:
+        sys.exit(f"perf_compare: candidate {args.candidate} does not exist")
+    candidate_sections = throughput_by_section(candidate, args.candidate)
+    if not candidate_sections:
+        sys.exit(f"perf_compare: {args.candidate}: no '{SECTION_PREFIX}...' "
+                 "sections found")
+
+    if args.update:
+        shutil.copyfile(args.candidate, args.baseline)
+        print(f"perf_compare: baseline {args.baseline} updated from "
+              f"{args.candidate}")
+        return 0
+
+    baseline = load_report(args.baseline)
+    if baseline is None:
+        print(f"perf_compare: no baseline at {args.baseline} — nothing to "
+              "compare (run with --update to create one). PASS")
+        return 0
+    baseline_sections = throughput_by_section(baseline, args.baseline)
+
+    compared = 0
+    regressions = []
+    for title, cand_rows in sorted(candidate_sections.items()):
+        base_rows = baseline_sections.get(title)
+        if base_rows is None:
+            print(f"perf_compare: skipping '{title}' (not in baseline)")
+            continue
+        overlays = sorted(set(cand_rows) & set(base_rows))
+        if not overlays:
+            continue
+        cand_norm = normalize({o: cand_rows[o] for o in overlays})
+        base_norm = normalize({o: base_rows[o] for o in overlays})
+        for overlay in overlays:
+            compared += 1
+            ratio = cand_norm[overlay] / base_norm[overlay]
+            marker = "OK  "
+            if ratio < 1.0 - args.tolerance:
+                marker = "FAIL"
+                regressions.append((title, overlay, ratio))
+            print(f"  {marker} {title} | {overlay:<12} "
+                  f"normalized {base_norm[overlay]:7.3f} -> "
+                  f"{cand_norm[overlay]:7.3f}  ({(ratio - 1.0) * 100:+6.1f}%)")
+
+    if compared == 0:
+        print("perf_compare: no overlapping sections between candidate and "
+              "baseline — nothing to compare. PASS")
+        return 0
+    if regressions:
+        print(f"perf_compare: {len(regressions)} overlay(s) regressed more "
+              f"than {args.tolerance:.0%} vs geometric-mean-normalized "
+              "baseline:")
+        for title, overlay, ratio in regressions:
+            print(f"  {overlay} in '{title}': {(1.0 - ratio) * 100:.1f}% "
+                  "below baseline")
+        return 1
+    print(f"perf_compare: {compared} overlay measurements within "
+          f"{args.tolerance:.0%} of baseline. PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/contracts.hpp"
+#include "util/prefetch.hpp"
 
 namespace cycloid::can {
 
@@ -373,6 +374,16 @@ class CanStepPolicy final : public dht::StepPolicy {
   int default_max_hops() const override { return 8 * 64; }
   bool track_visited() const override { return true; }
 
+  void prefetch(std::size_t slot) const override { net_.prefetch_node(slot); }
+  void prefetch_tables(std::size_t slot) const override {
+    // Stage 2: next_hop's owner check walks the zone list — warm it. The
+    // neighbor set is a node-based std::set whose elements are scattered on
+    // the heap; no single prefetch covers it.
+    const CanNode& cur = net_.node_at(slot);
+    util::prefetch_lines(cur.zones.data(),
+                         cur.zones.size() * sizeof(cur.zones[0]));
+  }
+
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const CanNode& cur = net_.node_at(state.current_slot());
     if (net_.node_owns_point(cur, target_)) {
@@ -413,6 +424,19 @@ LookupResult CanNetwork::route_impl(NodeHandle from, dht::KeyHash key,
   CYCLOID_EXPECTS(contains(from));
   CanStepPolicy policy(*this, point_from_hash(key));
   return dht::Router::run(policy, from, sink, options);
+}
+
+void CanNetwork::route_batch_impl(const NodeHandle* froms,
+                                  const dht::KeyHash* keys, std::size_t count,
+                                  int width, dht::LookupMetrics& sink,
+                                  LookupResult* results,
+                                  dht::BatchScratch& lanes,
+                                  const dht::RouterOptions& options) const {
+  dht::Router::route_batch(froms, keys, count, width, sink, results, lanes,
+                           options, [this](NodeHandle from, dht::KeyHash key) {
+                             CYCLOID_EXPECTS(contains(from));
+                             return CanStepPolicy(*this, point_from_hash(key));
+                           });
 }
 
 NodeHandle CanNetwork::join(std::uint64_t seed) {

@@ -113,6 +113,11 @@ class CanNetwork final : public dht::ArenaNetwork<CanNode> {
                                const dht::RouterOptions& options)
       const override;
 
+  void route_batch_impl(const dht::NodeHandle* froms, const dht::KeyHash* keys,
+                        std::size_t count, int width, dht::LookupMetrics& sink,
+                        dht::LookupResult* results, dht::BatchScratch& lanes,
+                        const dht::RouterOptions& options) const override;
+
   bool zone_contains(const Zone& zone, const Point& p) const;
   /// Squared torus distance from the closest point of `zone` to `p`.
   double zone_distance2(const Zone& zone, const Point& p) const;

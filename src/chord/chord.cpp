@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/bits.hpp"
+#include "util/prefetch.hpp"
 
 namespace cycloid::chord {
 
@@ -65,6 +66,13 @@ class ChordMaintenancePolicy final : public dht::MaintenancePolicy {
     net_.compute_state(*state);
   }
 
+  void before_pass() override {
+    // Bulk construction appends ring ids unsorted; restore the sorted-ring
+    // invariant once, serially, before refresh() fans out to workers that
+    // binary-search it concurrently.
+    net_.sort_ring();
+  }
+
   void dirty(dht::MembershipEvent event, NodeHandle node) override {
     const ChordNode* state = net_.node_of(node);
     CYCLOID_ASSERT(state != nullptr);  // pre-unlink / post-join contract
@@ -105,17 +113,19 @@ class ChordMaintenancePolicy final : public dht::MaintenancePolicy {
   /// (lo, hi].
   void mark_members(std::uint64_t lo, std::uint64_t hi) {
     const auto& ring = net_.ring_;
+    CYCLOID_EXPECTS(!net_.ring_unsorted_);
     if (lo < hi) {
-      for (auto it = ring.upper_bound(lo); it != ring.end() && it->first <= hi;
-           ++it) {
-        net_.mark_dirty(it->second);
+      for (auto it = std::upper_bound(ring.begin(), ring.end(), lo);
+           it != ring.end() && *it <= hi; ++it) {
+        net_.mark_dirty(*it);
       }
     } else {
-      for (auto it = ring.upper_bound(lo); it != ring.end(); ++it) {
-        net_.mark_dirty(it->second);
+      for (auto it = std::upper_bound(ring.begin(), ring.end(), lo);
+           it != ring.end(); ++it) {
+        net_.mark_dirty(*it);
       }
-      for (auto it = ring.begin(); it != ring.end() && it->first <= hi; ++it) {
-        net_.mark_dirty(it->second);
+      for (auto it = ring.begin(); it != ring.end() && *it <= hi; ++it) {
+        net_.mark_dirty(*it);
       }
     }
   }
@@ -157,7 +167,15 @@ bool ChordNetwork::insert(std::uint64_t id) {
   if (contains(id)) return false;
 
   create_node(id).id = id;
-  ring_.emplace(id, id);
+  if (bulk_building()) {
+    // Defer the sorted-ring invariant to sort_ring() (the policy's
+    // before_pass hook, run by finish_bulk's stabilize pass) — a sorted
+    // insert per bulk append would cost O(n^2) memmove across the build.
+    ring_.push_back(id);
+    ring_unsorted_ = true;
+  } else {
+    ring_.insert(std::lower_bound(ring_.begin(), ring_.end(), id), id);
+  }
 
   // The engine runs ChordMaintenancePolicy::on_join (compute_state +
   // ring-neighbourhood refresh) under the join-repair cause scope; bulk
@@ -168,8 +186,17 @@ bool ChordNetwork::insert(std::uint64_t id) {
 
 void ChordNetwork::unlink(NodeHandle handle) {
   CYCLOID_EXPECTS(contains(handle));
-  ring_.erase(handle);
+  CYCLOID_EXPECTS(!ring_unsorted_);  // departures never run mid-bulk
+  const auto it = std::lower_bound(ring_.begin(), ring_.end(), handle);
+  CYCLOID_ASSERT(it != ring_.end() && *it == handle);
+  ring_.erase(it);
   destroy_node(handle);
+}
+
+void ChordNetwork::sort_ring() {
+  if (!ring_unsorted_) return;
+  std::sort(ring_.begin(), ring_.end());
+  ring_unsorted_ = false;
 }
 
 std::vector<std::string> ChordNetwork::phase_names() const {
@@ -178,14 +205,16 @@ std::vector<std::string> ChordNetwork::phase_names() const {
 
 NodeHandle ChordNetwork::successor_of(std::uint64_t id) const {
   CYCLOID_EXPECTS(!ring_.empty());
-  const auto it = ring_.lower_bound(id);
-  return it == ring_.end() ? ring_.begin()->second : it->second;
+  CYCLOID_EXPECTS(!ring_unsorted_);
+  const auto it = std::lower_bound(ring_.begin(), ring_.end(), id);
+  return it == ring_.end() ? ring_.front() : *it;
 }
 
 NodeHandle ChordNetwork::predecessor_of(std::uint64_t id) const {
   CYCLOID_EXPECTS(!ring_.empty());
-  const auto it = ring_.lower_bound(id);
-  return it == ring_.begin() ? ring_.rbegin()->second : std::prev(it)->second;
+  CYCLOID_EXPECTS(!ring_unsorted_);
+  const auto it = std::lower_bound(ring_.begin(), ring_.end(), id);
+  return it == ring_.begin() ? ring_.back() : *std::prev(it);
 }
 
 void ChordNetwork::compute_state(ChordNode& node) {
@@ -270,6 +299,17 @@ class ChordStepPolicy final : public dht::StepPolicy {
   }
   int default_max_hops() const override { return 8 * net_.bits(); }
 
+  void prefetch(std::size_t slot) const override { net_.prefetch_node(slot); }
+  void prefetch_tables(std::size_t slot) const override {
+    // Stage 2 (record line presumed warm from stage 1): pull in the
+    // out-of-line successor list and finger table next_hop will scan.
+    const ChordNode& cur = net_.node_at(slot);
+    util::prefetch_lines(cur.successors.data(),
+                         cur.successors.size() * sizeof(NodeHandle));
+    util::prefetch_lines(cur.fingers.data(),
+                         cur.fingers.size() * sizeof(NodeHandle));
+  }
+
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const std::uint64_t space = net_.space_size();
     const ChordNode& cur = net_.node_at(state.current_slot());
@@ -342,6 +382,20 @@ LookupResult ChordNetwork::route_impl(NodeHandle from, dht::KeyHash key,
   CYCLOID_EXPECTS(contains(from));
   ChordStepPolicy policy(*this, key % space_size_);
   return dht::Router::run(policy, from, sink, options);
+}
+
+void ChordNetwork::route_batch_impl(const NodeHandle* froms,
+                                    const dht::KeyHash* keys,
+                                    std::size_t count, int width,
+                                    dht::LookupMetrics& sink,
+                                    LookupResult* results,
+                                    dht::BatchScratch& lanes,
+                                    const dht::RouterOptions& options) const {
+  dht::Router::route_batch(froms, keys, count, width, sink, results, lanes,
+                           options, [this](NodeHandle from, dht::KeyHash key) {
+                             CYCLOID_EXPECTS(contains(from));
+                             return ChordStepPolicy(*this, key % space_size_);
+                           });
 }
 
 NodeHandle ChordNetwork::join(std::uint64_t seed) {

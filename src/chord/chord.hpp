@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,6 +79,11 @@ class ChordNetwork final : public dht::ArenaNetwork<ChordNode> {
                                const dht::RouterOptions& options)
       const override;
 
+  void route_batch_impl(const dht::NodeHandle* froms, const dht::KeyHash* keys,
+                        std::size_t count, int width, dht::LookupMetrics& sink,
+                        dht::LookupResult* results, dht::BatchScratch& lanes,
+                        const dht::RouterOptions& options) const override;
+
   /// First live identifier at or clockwise-after `id` (ground truth).
   dht::NodeHandle successor_of(std::uint64_t id) const;
   /// Last live identifier strictly clockwise-before `id`.
@@ -91,11 +95,22 @@ class ChordNetwork final : public dht::ArenaNetwork<ChordNode> {
   void refresh_ring_around(std::uint64_t id);
   void unlink(dht::NodeHandle handle);
 
+  /// Restore the sorted-ring invariant after a bulk-build insert run (the
+  /// policy's before_pass hook calls this; no-op when already sorted).
+  void sort_ring();
+
   int bits_;
   std::uint64_t space_size_;
   int successor_list_length_;
 
-  std::map<std::uint64_t, dht::NodeHandle> ring_;  // id -> handle (id == handle)
+  /// Live identifiers in ascending order (id == handle) — successor_of /
+  /// predecessor_of are one std::lower_bound over this contiguous array.
+  /// Incremental joins/leaves keep it sorted in place; bulk construction
+  /// appends unsorted (ring_unsorted_ set) and sorts once in sort_ring()
+  /// before the finish_bulk stabilize pass, avoiding the O(n^2) memmove a
+  /// per-insert sorted insert would cost.
+  std::vector<std::uint64_t> ring_;
+  bool ring_unsorted_ = false;
 };
 
 }  // namespace cycloid::chord

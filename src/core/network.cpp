@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/bits.hpp"
+#include "util/prefetch.hpp"
 
 namespace cycloid::ccc {
 
@@ -543,6 +544,40 @@ class CycloidStepPolicy final : public dht::StepPolicy {
   // link_latency: the StepPolicy default (the shared per-handle torus
   // plane) is exactly Cycloid's model — no override needed.
 
+  void prefetch(std::size_t slot) const override { net_.prefetch_node(slot); }
+  void prefetch_tables(std::size_t slot) const override {
+    // Stage 2: warm the four leaf-set arrays next_hop's candidate scan
+    // walks, plus the slot-index probe lines of the three inline routing
+    // handles it resolves.
+    const CycloidNode& cur = net_.node_at(slot);
+    util::prefetch_lines(cur.inside_pred.data(),
+                         cur.inside_pred.size() * sizeof(NodeHandle));
+    util::prefetch_lines(cur.inside_succ.data(),
+                         cur.inside_succ.size() * sizeof(NodeHandle));
+    util::prefetch_lines(cur.outside_pred.data(),
+                         cur.outside_pred.size() * sizeof(NodeHandle));
+    util::prefetch_lines(cur.outside_succ.data(),
+                         cur.outside_succ.size() * sizeof(NodeHandle));
+    net_.slot_index().prefetch(cur.cubical_neighbor);
+    net_.slot_index().prefetch(cur.cyclic_larger);
+    net_.slot_index().prefetch(cur.cyclic_smaller);
+  }
+  void prefetch_probes(std::size_t slot) const override {
+    // Stage 3: next_hop liveness-probes every leaf candidate
+    // (state.attempt -> contains), each a scattered SlotIndex bucket. The
+    // leaf arrays themselves landed during the rotation since stage 2, so
+    // reading them through here is cheap — warm the probe buckets they
+    // name; each saved probe miss is a full DRAM round trip.
+    const CycloidNode& cur = net_.node_at(slot);
+    const auto probe = [this](const std::vector<NodeHandle>& entries) {
+      for (const NodeHandle h : entries) net_.slot_index().prefetch(h);
+    };
+    probe(cur.inside_pred);
+    probe(cur.inside_succ);
+    probe(cur.outside_pred);
+    probe(cur.outside_succ);
+  }
+
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const CccSpace& space = net_.space();
     const CycloidNode& cur = net_.node_at(state.current_slot());
@@ -671,6 +706,20 @@ LookupResult CycloidNetwork::route_impl(
   CYCLOID_EXPECTS(contains(from));
   CycloidStepPolicy policy(*this, key_id(key));
   return dht::Router::run(policy, from, sink, options);
+}
+
+void CycloidNetwork::route_batch_impl(const dht::NodeHandle* froms,
+                                      const dht::KeyHash* keys,
+                                      std::size_t count, int width,
+                                      dht::LookupMetrics& sink,
+                                      dht::LookupResult* results,
+                                      dht::BatchScratch& lanes,
+                                      const dht::RouterOptions& options) const {
+  dht::Router::route_batch(froms, keys, count, width, sink, results, lanes,
+                           options, [this](NodeHandle from, dht::KeyHash key) {
+                             CYCLOID_EXPECTS(contains(from));
+                             return CycloidStepPolicy(*this, key_id(key));
+                           });
 }
 
 LookupResult CycloidNetwork::lookup_id(NodeHandle from, const CccId& key,

@@ -164,6 +164,11 @@ class CycloidNetwork final : public dht::ArenaNetwork<CycloidNode> {
                                const dht::RouterOptions& options)
       const override;
 
+  void route_batch_impl(const dht::NodeHandle* froms, const dht::KeyHash* keys,
+                        std::size_t count, int width, dht::LookupMetrics& sink,
+                        dht::LookupResult* results, dht::BatchScratch& lanes,
+                        const dht::RouterOptions& options) const override;
+
   bool alive(dht::NodeHandle handle) const { return contains(handle); }
 
   /// Compute the routing-table entries of `node` from the live membership

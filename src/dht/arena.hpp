@@ -32,6 +32,7 @@
 #include "dht/network.hpp"
 #include "dht/types.hpp"
 #include "util/contracts.hpp"
+#include "util/prefetch.hpp"
 
 namespace cycloid::dht {
 
@@ -60,6 +61,18 @@ class ArenaNetwork : public DhtNetwork {
   const NodeT& node_at(std::size_t slot) const {
     CYCLOID_EXPECTS(slot < arena_.size());
     return arena_[slot];
+  }
+
+  /// Best-effort prefetch of the node record at `slot` — the default
+  /// stage-1 hint of every overlay's step policy (StepPolicy::prefetch):
+  /// pure address arithmetic into the arena, no dereference, so it can run
+  /// the moment the batch router resolves a lane's next slot. Out-of-range
+  /// slots (including kNoSlot) are silent no-ops. Purely a performance
+  /// hint: never changes routing results.
+  void prefetch_node(std::size_t slot) const noexcept {
+    if (slot < arena_.size()) {
+      util::prefetch_lines(&arena_[slot], sizeof(NodeT));
+    }
   }
 
  protected:

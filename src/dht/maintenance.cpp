@@ -110,6 +110,9 @@ void Maintainer::refresh_one(NodeHandle node) {
 
 void Maintainer::run_pass(int threads) {
   MaintenancePolicy& pol = policy();
+  // Serial invariant-restore point (Chord's deferred ring sort) — before
+  // the plane is sized and before any worker reads shared indexes.
+  pol.before_pass();
   // Pre-size the metrics plane: workers charge only their own node's slot,
   // so with the plane already covering every live slot the pass performs no
   // shared-state writes at all (DESIGN.md §10).
@@ -129,6 +132,7 @@ void Maintainer::run_incremental(int threads) {
   // while clearing the stale flag — always a caller bug.
   CYCLOID_EXPECTS(dirty_tracking_);
   MaintenancePolicy& pol = policy();
+  pol.before_pass();
   // Snapshot the dirty set against frozen membership: drop handles that
   // departed after being enqueued, dedupe is already structural, and sort
   // by slot so the drain order — and therefore state and the per-(slot,

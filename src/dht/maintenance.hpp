@@ -218,6 +218,15 @@ class MaintenancePolicy {
   virtual void on_mass_leave(NodeHandle node) { on_vanish(node); }
   virtual void repair_after_mass_leave() {}
 
+  /// Serial pre-pass hook: runs once on the pass-driving thread before
+  /// run_pass/run_incremental fan refresh() out to workers, with membership
+  /// already frozen. Overlays use it to restore shared read-only invariants
+  /// the concurrent refreshes depend on but must not repair themselves —
+  /// Chord re-sorts its deferred bulk-build ring here. Must be
+  /// deterministic (no randomness) so pass output stays thread-count
+  /// independent. Default: nothing to restore.
+  virtual void before_pass() {}
+
   /// Enqueue (via Maintainer::mark_dirty) every node whose refresh() output
   /// changes because of this membership event — the dirty-neighborhood hook
   /// behind run_incremental (DESIGN.md §11).

@@ -144,6 +144,24 @@ class DhtNetwork {
     return route(from, key, sink, RouterOptions{});
   }
 
+  /// Route `count` lookups with up to `width` kept in flight at once
+  /// (Router::route_batch's interleaved hop loop — DESIGN.md §14). Same
+  /// read-only/thread-safety contract as route(); results land in
+  /// `results[0..count)` in input order and every per-lookup result, sink
+  /// total, and metrics value is identical to routing the same inputs
+  /// sequentially at width 1 — interleaving is a latency-hiding detail,
+  /// never an observable one. `lanes` is caller-owned scratch (reused
+  /// across batches for an allocation-free warm path). width <= 1 runs the
+  /// plain sequential path.
+  void route_batch(const NodeHandle* froms, const KeyHash* keys,
+                   std::size_t count, int width, LookupMetrics& sink,
+                   LookupResult* results, BatchScratch& lanes,
+                   const RouterOptions& options) const {
+    sink.bind(*this);
+    route_batch_impl(froms, keys, count, width, sink, results, lanes,
+                     options);
+  }
+
   /// Sequential convenience wrapper: route against the network-resident
   /// registry and immediately apply any repair promotions the lookup
   /// learned (the pre-split mutating behaviour, kept for tests, examples,
@@ -351,6 +369,23 @@ class DhtNetwork {
   virtual LookupResult route_impl(NodeHandle from, KeyHash key,
                                   LookupMetrics& sink,
                                   const RouterOptions& options) const = 0;
+
+  /// The overlay half of route_batch(): overlays override to hand their
+  /// step-policy factory to Router::route_batch (gaining lane interleaving
+  /// and slot prefetching). The base implementation is the always-correct
+  /// sequential fallback, and overlays must produce results identical to it
+  /// at every width (pinned per overlay in tests/dht_conformance_test.cpp).
+  virtual void route_batch_impl(const NodeHandle* froms, const KeyHash* keys,
+                                std::size_t count, int width,
+                                LookupMetrics& sink, LookupResult* results,
+                                BatchScratch& lanes,
+                                const RouterOptions& options) const {
+    (void)width;
+    (void)lanes;
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = route_impl(froms[i], keys[i], sink, options);
+    }
+  }
 
   /// Membership-registry hooks: overlays call these exactly where they
   /// insert/erase their node-state maps, so the registry and the overlay

@@ -8,26 +8,26 @@ namespace cycloid::dht {
 
 bool RouteState::attempt(NodeHandle node) const {
   if (node == kNoNode) return false;
-  if (policy_.alive(node)) return true;
-  if (std::find(scratch_.dead_seen.begin(), scratch_.dead_seen.end(), node) ==
-      scratch_.dead_seen.end()) {
-    scratch_.dead_seen.push_back(node);
-    ++result_.timeouts;
+  if (policy_->alive(node)) return true;
+  if (std::find(scratch_->dead_seen.begin(), scratch_->dead_seen.end(),
+                node) == scratch_->dead_seen.end()) {
+    scratch_->dead_seen.push_back(node);
+    ++result_->timeouts;
   }
   return false;
 }
 
 bool RouteState::was_visited(NodeHandle node) const {
-  return std::find(scratch_.visited.begin(), scratch_.visited.end(), node) !=
-         scratch_.visited.end();
+  return std::find(scratch_->visited.begin(), scratch_->visited.end(), node) !=
+         scratch_->visited.end();
 }
 
 NodeHandle RouteState::resolve_chain(NodeHandle owner, NodeHandle primary,
                                      const std::vector<NodeHandle>& backups,
                                      bool locally_broken) const {
-  if (locally_broken || sink_.is_broken(owner)) return kNoNode;
+  if (locally_broken || sink_->is_broken(owner)) return kNoNode;
   std::size_t start = 0;
-  if (const auto learned = sink_.learned_link(owner)) {
+  if (const auto learned = sink_->learned_link(owner)) {
     const auto it = std::find(backups.begin(), backups.end(), *learned);
     if (it != backups.end()) {
       start = static_cast<std::size_t>(it - backups.begin()) + 1;
@@ -38,10 +38,10 @@ NodeHandle RouteState::resolve_chain(NodeHandle owner, NodeHandle primary,
   };
   for (std::size_t i = start; i <= backups.size(); ++i) {
     if (!attempt(entry(i))) continue;
-    if (i > 0) sink_.learn_link(owner, entry(i));  // repair-on-timeout
+    if (i > 0) sink_->learn_link(owner, entry(i));  // repair-on-timeout
     return entry(i);
   }
-  sink_.mark_broken(owner);
+  sink_->mark_broken(owner);
   return kNoNode;
 }
 
@@ -55,7 +55,8 @@ LookupResult Router::run(StepPolicy& policy, NodeHandle from,
   scratch.clear();
 
   LookupResult result;
-  RouteState state(policy, sink, result, scratch);
+  RouteState state;
+  state.bind(policy, sink, result, scratch);
   state.current_ = from;
   state.current_slot_ = policy.slot_of(from);
   if (policy.track_visited()) scratch.visited.push_back(from);
@@ -65,57 +66,9 @@ LookupResult Router::run(StepPolicy& policy, NodeHandle from,
   CYCLOID_EXPECTS(max_hops > 0);
   const int budget = policy.fallback_budget();
 
-  for (;;) {
-    // Step-budget guard: beyond the budget the policy is restricted to its
-    // provably-terminating fallback move; the flip is itself an event worth
-    // counting (expected ~0 — tests assert the phase algorithms converge).
-    if (budget != StepPolicy::kNoFallbackBudget && state.steps_++ > budget &&
-        !state.fallback_) {
-      state.fallback_ = true;
-      ++sink.guard_fallbacks;
-    }
-
-    const HopDecision decision = policy.next_hop(state);
-    if (decision.kind == HopDecision::Kind::kDeliver) break;
-    if (decision.kind == HopDecision::Kind::kFail) {
-      result.success = false;
-      result.status = LookupStatus::kFailed;
-      break;
-    }
-
-    CYCLOID_ASSERT(decision.next != kNoNode);
-    // Universal hop cap: a policy that keeps forwarding (cyclic routing
-    // tables, adversarial state) terminates with an explicit status
-    // instead of hanging the simulation.
-    if (result.hops >= max_hops) {
-      result.success = false;
-      result.status = LookupStatus::kHopLimit;
-      break;
-    }
-
-    result.count_hop(decision.phase);
-    // Resolve the receiver's registry slot once; it both charges the
-    // query-load plane and becomes the next hop's current_slot, so the
-    // policy's state access needs no hash probe of its own.
-    const std::size_t next_slot = policy.slot_of(decision.next);
-    sink.count_query_at(next_slot, decision.next);
-    if (options.trace != nullptr || options.price_links) {
-      const double latency =
-          policy.link_latency(state.current_, decision.next);
-      result.route_latency += latency;
-      if (options.trace != nullptr) {
-        options.trace->push_back(TraceStep{
-            decision.next, decision.phase, decision.link,
-            result.timeouts - state.timeouts_at_last_hop_, latency});
-      }
-    }
-    state.timeouts_at_last_hop_ = result.timeouts;
-    state.current_ = decision.next;
-    state.current_slot_ = next_slot;
-    if (policy.track_visited()) scratch.visited.push_back(decision.next);
-    // Sender-decided delivery: the hop completes the lookup without
-    // consulting the receiving node's (possibly stale) local view.
-    if (decision.final_hop) break;
+  // The loop body lives in step_once (router.hpp), shared verbatim with the
+  // route_batch lanes so the two paths cannot drift apart.
+  while (!step_once(state, policy, sink, options, max_hops, budget)) {
   }
 
   result.destination = state.current_;

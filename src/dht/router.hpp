@@ -29,12 +29,17 @@
 // remain data-race-free.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "dht/latency.hpp"
 #include "dht/metrics.hpp"
 #include "dht/types.hpp"
+#include "util/contracts.hpp"
 
 namespace cycloid::dht {
 
@@ -159,6 +164,47 @@ class StepPolicy {
   virtual double link_latency(NodeHandle a, NodeHandle b) const {
     return torus_latency(a, b);
   }
+
+  // Batch-mode prefetch hints (Router::route_batch) -----------------------
+  // Both hooks are pure hints: they must issue prefetches only (no reads
+  // that the result could depend on, no writes anywhere), so routing output
+  // is bit-identical whether or not they run. The engine calls them one
+  // lane rotation apart:
+  //
+  //   prefetch(slot)         the moment `slot` becomes a lane's next
+  //                          position — address arithmetic only (the node
+  //                          record is NOT yet cached), so overlays prefetch
+  //                          the arena record lines (ArenaNetwork::
+  //                          prefetch_node) and nothing that requires
+  //                          dereferencing them;
+  //   prefetch_tables(slot)  one rotation later, when the record is
+  //                          presumed cached — overlays with out-of-line
+  //                          routing state (Chord fingers, Pastry rows,
+  //                          Koorde chains, CAN zones) dereference the
+  //                          record and prefetch those lines, plus
+  //                          SlotIndex::prefetch of inline candidate
+  //                          handles they will probe;
+  //   prefetch_probes(slot)  one more rotation later, when the stage-2
+  //                          lines are presumed cached — overlays whose
+  //                          next_hop liveness-probes candidates held in
+  //                          out-of-line arrays read those (now resident)
+  //                          arrays through and SlotIndex::prefetch the
+  //                          probe buckets. Each pointer indirection needs
+  //                          its own stage: the probe addresses cannot be
+  //                          computed until the stage-2 prefetch has
+  //                          landed.
+
+  /// Stage-1 hint: `slot` is about to become a lane's current position.
+  virtual void prefetch(std::size_t slot) const { (void)slot; }
+
+  /// Stage-2 hint: the record at `slot` should be cached by now; prefetch
+  /// the out-of-line state next_hop will read.
+  virtual void prefetch_tables(std::size_t slot) const { (void)slot; }
+
+  /// Stage-3 hint: the stage-2 lines should be cached by now; prefetch
+  /// what is reachable only through them (candidate probe buckets, the
+  /// key-selected routing row's entries).
+  virtual void prefetch_probes(std::size_t slot) const { (void)slot; }
 };
 
 /// The engine-owned view a policy routes against. Accounting members are
@@ -174,14 +220,14 @@ class RouteState {
   /// hash probe: net_.node_at(state.current_slot()).
   std::size_t current_slot() const noexcept { return current_slot_; }
   /// Message forwardings so far.
-  int hops() const noexcept { return result_.hops; }
+  int hops() const noexcept { return result_->hops; }
   /// Timeouts charged so far.
-  int timeouts() const noexcept { return result_.timeouts; }
+  int timeouts() const noexcept { return result_->timeouts; }
   /// True once the step budget is exhausted: the policy must restrict
   /// itself to its provably-terminating fallback move (leaf-set descent).
   bool fallback() const noexcept { return fallback_; }
   /// The caller-owned sink (for overlay-specific learnings).
-  LookupMetrics& sink() const noexcept { return sink_; }
+  LookupMetrics& sink() const noexcept { return *sink_; }
 
   /// Contact attempt against a possibly-departed entry. Returns true when
   /// the node is live; otherwise charges one timeout for the first attempt
@@ -198,7 +244,7 @@ class RouteState {
   /// (cleared by the caller, capacity reused across lookups — Cycloid's
   /// leaf-set enumeration routes through this instead of allocating).
   std::vector<NodeHandle>& candidate_buffer() const noexcept {
-    return scratch_.candidates;
+    return scratch_->candidates;
   }
 
   /// Walk a primary-then-backups pointer chain owned by `owner`, consulting
@@ -214,17 +260,34 @@ class RouteState {
  private:
   friend class Router;
 
-  RouteState(const StepPolicy& policy, LookupMetrics& sink,
-             LookupResult& result, RouterScratch& scratch)
-      : policy_(policy), sink_(sink), result_(result), scratch_(scratch) {}
+  /// Default-constructed states are unbound lane slots of route_batch;
+  /// bind() targets them at a lookup (and run() uses it the same way).
+  RouteState() = default;
 
-  const StepPolicy& policy_;
-  LookupMetrics& sink_;
-  LookupResult& result_;
+  /// Re-target this state at one lookup: wire the policy/sink/result/
+  /// scratch pointers and reset all per-lookup position fields. The batch
+  /// engine re-binds the same RouteState object once per lane refill.
+  void bind(const StepPolicy& policy, LookupMetrics& sink,
+            LookupResult& result, RouterScratch& scratch) noexcept {
+    policy_ = &policy;
+    sink_ = &sink;
+    result_ = &result;
+    scratch_ = &scratch;
+    current_ = kNoNode;
+    current_slot_ = kNoSlot;
+    fallback_ = false;
+    steps_ = 0;
+    timeouts_at_last_hop_ = 0;
+  }
+
+  const StepPolicy* policy_ = nullptr;
+  LookupMetrics* sink_ = nullptr;
+  LookupResult* result_ = nullptr;
   /// Engine buffers (dead-seen dedup — small, linear scan beats hashing —
   /// visited tracking, and the policy candidate buffer). Either the
-  /// caller's reusable scratch or Router::run's per-call local.
-  RouterScratch& scratch_;
+  /// caller's reusable scratch, Router::run's per-call local, or the lane's
+  /// slice of a BatchScratch.
+  RouterScratch* scratch_ = nullptr;
   NodeHandle current_ = kNoNode;
   std::size_t current_slot_ = kNoSlot;
   bool fallback_ = false;
@@ -232,13 +295,200 @@ class RouteState {
   int timeouts_at_last_hop_ = 0;
 };
 
+/// Reusable per-lane engine buffers for Router::route_batch: one
+/// RouterScratch per in-flight lane. Like RouterScratch itself, a caller
+/// that batches repeatedly passes the same object every time so the lane
+/// buffers warm once and the hot path allocates nothing. One BatchScratch
+/// per thread — never shared.
+struct BatchScratch {
+  std::vector<RouterScratch> lanes;
+};
+
 /// The hop loop. `run` drives `policy` from `from` until it delivers,
 /// fails, or exceeds the hop cap, accounting every hop into `sink`.
+/// `route_batch` drives many lookups through the same loop with up to
+/// kMaxBatchWidth of them in flight at once (software pipelining): each
+/// lane owns a RouteState and a RouterScratch slice, lanes advance
+/// round-robin, and the policy's prefetch hints overlap one lane's DRAM
+/// misses with the other lanes' compute. Lanes are fully independent and
+/// the engine is const, so per-lookup results and sink totals are
+/// bit-identical to a sequential `run` loop at every width (the notes — the
+/// only order-sensitive sink writes — are issued in lookup-index order
+/// after the lanes drain).
 class Router {
  public:
+  /// Hard cap on in-flight lanes. Eight lanes already saturate the MLP of
+  /// current cores; the cap bounds the engine's stack footprint and lets
+  /// the lane array live in a fixed-size std::array (no per-batch heap).
+  static constexpr int kMaxBatchWidth = 16;
+
   static LookupResult run(StepPolicy& policy, NodeHandle from,
                           LookupMetrics& sink,
                           const RouterOptions& options = {});
+
+  /// Route `count` lookups (froms[i] toward keys[i]) with up to `width`
+  /// in flight, writing per-lookup outcomes into results[0..count) and
+  /// accounting into `sink` exactly as `count` sequential run() calls
+  /// would. `make_policy(from, key)` builds the overlay's per-lookup step
+  /// policy by value; the concrete policy type lets the compiler
+  /// devirtualize the hop loop. Widths outside [1, kMaxBatchWidth] are
+  /// clamped. RouterOptions::scratch is ignored — each lane routes out of
+  /// its own slice of `batch`.
+  template <typename MakePolicy>
+  static void route_batch(const NodeHandle* froms, const KeyHash* keys,
+                          std::size_t count, int width, LookupMetrics& sink,
+                          LookupResult* results, BatchScratch& batch,
+                          const RouterOptions& options,
+                          MakePolicy&& make_policy) {
+    using Policy =
+        std::decay_t<std::invoke_result_t<MakePolicy&, NodeHandle, KeyHash>>;
+    if (count == 0) return;
+    const std::size_t lane_count = std::min<std::size_t>(
+        static_cast<std::size_t>(std::clamp(width, 1, kMaxBatchWidth)), count);
+    if (batch.lanes.size() < lane_count) batch.lanes.resize(lane_count);
+
+    // One lane = one in-flight lookup. A lane cycles through three visits
+    // per hop: a prefetch_tables visit (stage-2 hint for the position it
+    // just moved to), a prefetch_probes visit (stage-3 hint, one rotation
+    // later so the stage-2 lines have landed), and a step visit (next_hop
+    // + commit + stage-1 hint for the position it moves to next).
+    // Everything a step reads was prefetched one to three rotations
+    // earlier, while the other lanes were doing their own work.
+    struct Lane {
+      std::optional<Policy> policy;
+      RouteState state;
+      int max_hops = 0;
+      int budget = 0;
+      int stage = 0;  // 0 = tables hint, 1 = probes hint, 2 = step
+    };
+    std::array<Lane, kMaxBatchWidth> lanes;
+
+    std::size_t next = 0;       // next batch index to start
+    std::size_t in_flight = 0;  // lanes currently holding a lookup
+
+    const auto refill = [&](std::size_t l) {
+      const std::size_t i = next++;
+      Lane& lane = lanes[l];
+      RouterScratch& scratch = batch.lanes[l];
+      scratch.clear();
+      results[i] = LookupResult{};
+      lane.policy.emplace(make_policy(froms[i], keys[i]));
+      Policy& policy = *lane.policy;
+      lane.state.bind(policy, sink, results[i], scratch);
+      lane.state.current_ = froms[i];
+      lane.state.current_slot_ = policy.slot_of(froms[i]);
+      if (policy.track_visited()) scratch.visited.push_back(froms[i]);
+      lane.max_hops =
+          options.max_hops > 0 ? options.max_hops : policy.default_max_hops();
+      CYCLOID_EXPECTS(lane.max_hops > 0);
+      lane.budget = policy.fallback_budget();
+      policy.prefetch(lane.state.current_slot_);
+      lane.stage = 0;
+      ++in_flight;
+    };
+
+    for (std::size_t l = 0; l < lane_count; ++l) refill(l);
+
+    while (in_flight > 0) {
+      for (std::size_t l = 0; l < lane_count; ++l) {
+        Lane& lane = lanes[l];
+        if (!lane.policy.has_value()) {
+          if (next < count) refill(l);
+          continue;
+        }
+        Policy& policy = *lane.policy;
+        if (lane.stage == 0) {
+          policy.prefetch_tables(lane.state.current_slot_);
+          lane.stage = 1;
+          continue;
+        }
+        if (lane.stage == 1) {
+          policy.prefetch_probes(lane.state.current_slot_);
+          lane.stage = 2;
+          continue;
+        }
+        if (step_once(lane.state, policy, sink, options, lane.max_hops,
+                      lane.budget)) {
+          lane.state.result_->destination = lane.state.current_;
+          lane.policy.reset();
+          --in_flight;
+          if (next < count) refill(l);
+        } else {
+          policy.prefetch(lane.state.current_slot_);
+          lane.stage = 0;
+        }
+      }
+    }
+
+    // Note the finished lookups in batch-index order: note() accumulates a
+    // double (route_latency), so a fixed order keeps totals bit-identical
+    // to the sequential loop at every width. All other sink writes during
+    // routing are commutative integer counters.
+    for (std::size_t i = 0; i < count; ++i) sink.note(results[i]);
+  }
+
+ private:
+  /// One iteration of the hop loop — exactly the body `run` executes per
+  /// decision, shared verbatim with the batch lanes. Returns true when the
+  /// lookup terminated (result status/success already set; destination is
+  /// the caller's to fill from state.current_). Templated on the concrete
+  /// policy type so route_batch's instantiation devirtualizes the per-hop
+  /// calls; run() instantiates it at the StepPolicy base.
+  template <typename P>
+  static bool step_once(RouteState& state, P& policy, LookupMetrics& sink,
+                        const RouterOptions& options, int max_hops,
+                        int budget) {
+    LookupResult& result = *state.result_;
+    // Step-budget guard: beyond the budget the policy is restricted to its
+    // provably-terminating fallback move; the flip is itself an event worth
+    // counting (expected ~0 — tests assert the phase algorithms converge).
+    if (budget != StepPolicy::kNoFallbackBudget && state.steps_++ > budget &&
+        !state.fallback_) {
+      state.fallback_ = true;
+      ++sink.guard_fallbacks;
+    }
+
+    const HopDecision decision = policy.next_hop(state);
+    if (decision.kind == HopDecision::Kind::kDeliver) return true;
+    if (decision.kind == HopDecision::Kind::kFail) {
+      result.success = false;
+      result.status = LookupStatus::kFailed;
+      return true;
+    }
+
+    CYCLOID_ASSERT(decision.next != kNoNode);
+    // Universal hop cap: a policy that keeps forwarding (cyclic routing
+    // tables, adversarial state) terminates with an explicit status
+    // instead of hanging the simulation.
+    if (result.hops >= max_hops) {
+      result.success = false;
+      result.status = LookupStatus::kHopLimit;
+      return true;
+    }
+
+    result.count_hop(decision.phase);
+    // Resolve the receiver's registry slot once; it both charges the
+    // query-load plane and becomes the next hop's current_slot, so the
+    // policy's state access needs no hash probe of its own.
+    const std::size_t next_slot = policy.slot_of(decision.next);
+    sink.count_query_at(next_slot, decision.next);
+    if (options.trace != nullptr || options.price_links) {
+      const double latency = policy.link_latency(state.current_, decision.next);
+      result.route_latency += latency;
+      if (options.trace != nullptr) {
+        options.trace->push_back(TraceStep{
+            decision.next, decision.phase, decision.link,
+            result.timeouts - state.timeouts_at_last_hop_, latency});
+      }
+    }
+    state.timeouts_at_last_hop_ = result.timeouts;
+    state.current_ = decision.next;
+    state.current_slot_ = next_slot;
+    if (policy.track_visited()) state.scratch_->visited.push_back(decision.next);
+    // Sender-decided delivery: the hop completes the lookup without
+    // consulting the receiving node's (possibly stale) local view.
+    return decision.final_hop;
+  }
 };
 
 }  // namespace cycloid::dht

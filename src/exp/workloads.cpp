@@ -41,6 +41,11 @@ void WorkloadStats::merge(const WorkloadStats& other) {
 
 namespace {
 
+/// Process-wide run_lookup_batch interleave default (set_lookup_interleave).
+/// Plain int: the knob is installed once at startup (bench::Report) or from
+/// the test thread, never concurrently with a running batch.
+int g_lookup_interleave = 1;
+
 /// The shared inner loop: `count` lookups drawn from `rng` into `out`.
 /// `scratch` is this worker's reusable engine buffer — after the first few
 /// lookups warm its capacity, the loop performs no per-lookup allocations.
@@ -58,7 +63,48 @@ void run_into(const dht::DhtNetwork& net, std::uint64_t count, util::Rng& rng,
   }
 }
 
+/// Per-shard buffers for the interleaved path, reused across a worker's
+/// shards so steady-state batches allocate nothing.
+struct InterleaveScratch {
+  std::vector<dht::NodeHandle> sources;
+  std::vector<dht::KeyHash> keys;
+  std::vector<dht::LookupResult> results;
+  dht::BatchScratch lanes;
+};
+
+/// run_into's interleaved twin: same draws, same notes, same sink — only
+/// the hop loops of up to `width` lookups overlap. Sources and keys are
+/// pre-drawn in run_into's exact order (source, key, source, key, ...), so
+/// the shard's RNG stream is untouched by the width; route_batch guarantees
+/// the per-lookup results and sink writes match the sequential schedule.
+void run_interleaved(const dht::DhtNetwork& net, std::uint64_t count,
+                     util::Rng& rng, bool check_owner, int width,
+                     WorkloadStats& out, InterleaveScratch& scratch) {
+  const std::size_t n = static_cast<std::size_t>(count);
+  scratch.sources.resize(n);
+  scratch.keys.resize(n);
+  scratch.results.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.sources[i] = net.random_node(rng);
+    scratch.keys[i] = rng();
+  }
+  net.route_batch(scratch.sources.data(), scratch.keys.data(), n, width,
+                  out.metrics, scratch.results.data(), scratch.lanes,
+                  dht::RouterOptions{});
+  for (std::size_t i = 0; i < n; ++i) {
+    const dht::LookupResult& result = scratch.results[i];
+    out.note(result, !check_owner || !result.success ||
+                         result.destination == net.owner_of(scratch.keys[i]));
+  }
+}
+
 }  // namespace
+
+void set_lookup_interleave(int width) {
+  g_lookup_interleave = width < 1 ? 1 : width;
+}
+
+int lookup_interleave() { return g_lookup_interleave; }
 
 WorkloadStats run_random_lookups(const dht::DhtNetwork& net,
                                  std::uint64_t count, util::Rng& rng,
@@ -72,7 +118,8 @@ WorkloadStats run_random_lookups(const dht::DhtNetwork& net,
 
 WorkloadStats run_lookup_batch(const dht::DhtNetwork& net, std::uint64_t count,
                                std::uint64_t seed, int threads,
-                               bool check_owner) {
+                               bool check_owner, int interleave) {
+  const int width = interleave > 0 ? interleave : lookup_interleave();
   const std::uint64_t shards =
       count == 0 ? 0 : (count + kLookupShardSize - 1) / kLookupShardSize;
   std::vector<WorkloadStats> parts(static_cast<std::size_t>(shards));
@@ -86,9 +133,14 @@ WorkloadStats run_lookup_batch(const dht::DhtNetwork& net, std::uint64_t count,
     util::Rng rng(util::mix64(seed ^ ((s + 1) * 0x9e3779b97f4a7c15ULL)));
     // Per-shard scratch: engine buffers warm up once per shard and are
     // reused across its kLookupShardSize lookups (never shared; DESIGN.md
-    // §8). Results do not depend on scratch reuse.
-    dht::RouterScratch scratch;
-    run_into(net, n, rng, check_owner, parts[s], scratch);
+    // §8). Results do not depend on scratch reuse or interleave width.
+    if (width <= 1) {
+      dht::RouterScratch scratch;
+      run_into(net, n, rng, check_owner, parts[s], scratch);
+    } else {
+      InterleaveScratch scratch;
+      run_interleaved(net, n, rng, check_owner, width, parts[s], scratch);
+    }
   });
 
   WorkloadStats out;

@@ -58,13 +58,27 @@ WorkloadStats run_random_lookups(const dht::DhtNetwork& net,
 /// merge order never change with parallelism.
 inline constexpr std::uint64_t kLookupShardSize = 2048;
 
+/// Process-wide default interleave width for run_lookup_batch — how many
+/// lookups each shard keeps in flight through the overlay's interleaved
+/// batch router (DhtNetwork::route_batch). bench::Report installs the
+/// CYCLOID_BENCH_INTERLEAVE knob here so every bench binary honors it.
+/// Widths are clamped to at least 1; 1 (the default) keeps the plain
+/// sequential path. Results are identical at every width.
+void set_lookup_interleave(int width);
+int lookup_interleave();
+
 /// Run `count` random lookups sharded across `threads` workers. Each shard
 /// draws its sources and keys from its own splitmix64-derived RNG stream
 /// and accumulates into its own sink; shards merge in index order. The
 /// result is bit-identical at any thread count.
+///
+/// `interleave` is the per-shard in-flight lookup width: > 0 overrides, 0
+/// (the default) uses the process-wide lookup_interleave(). Any width
+/// produces bit-identical results; widths > 1 only overlap the DRAM misses
+/// of independent lookups inside a shard (DESIGN.md §14).
 WorkloadStats run_lookup_batch(const dht::DhtNetwork& net, std::uint64_t count,
                                std::uint64_t seed, int threads,
-                               bool check_owner = true);
+                               bool check_owner = true, int interleave = 0);
 
 /// One fully traced lookup: the engine-level per-hop record of every
 /// overlay (dht::RouterOptions::trace), plus the workload-side draw that

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/bits.hpp"
+#include "util/prefetch.hpp"
 
 namespace cycloid::koorde {
 
@@ -314,6 +315,27 @@ class KoordeStepPolicy final : public dht::StepPolicy {
   }
   int default_max_hops() const override { return 8 * net_.bits(); }
 
+  void prefetch(std::size_t slot) const override { net_.prefetch_node(slot); }
+  void prefetch_tables(std::size_t slot) const override {
+    // Stage 2: next_hop scans the successor list, then resolves the de
+    // Bruijn pointer through the slot index — warm both.
+    const KoordeNode& cur = net_.node_at(slot);
+    util::prefetch_lines(cur.successors.data(),
+                         cur.successors.size() * sizeof(NodeHandle));
+    util::prefetch_lines(cur.db_backups.data(),
+                         cur.db_backups.size() * sizeof(NodeHandle));
+    net_.slot_index().prefetch(cur.de_bruijn);
+  }
+  void prefetch_probes(std::size_t slot) const override {
+    // Stage 3: the successor array landed during the rotation since stage
+    // 2 — warm the SlotIndex buckets next_hop's liveness scan
+    // (state.attempt per member) will probe.
+    const KoordeNode& cur = net_.node_at(slot);
+    for (const NodeHandle h : cur.successors) {
+      net_.slot_index().prefetch(h);
+    }
+  }
+
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const std::uint64_t space = net_.space_size();
     const std::uint64_t mask = space - 1;
@@ -398,6 +420,33 @@ LookupResult KoordeNetwork::route_impl(NodeHandle from, dht::KeyHash key,
   const std::uint64_t target = key & (space_size_ - 1);
   KoordeStepPolicy policy(*this, target, best_start(*source, target));
   return dht::Router::run(policy, from, sink, options);
+}
+
+void KoordeNetwork::route_batch_impl(const NodeHandle* froms,
+                                     const dht::KeyHash* keys,
+                                     std::size_t count, int width,
+                                     dht::LookupMetrics& sink,
+                                     LookupResult* results,
+                                     dht::BatchScratch& lanes,
+                                     const dht::RouterOptions& options) const {
+  // Koorde is the one overlay whose hop loop WRITES the shared sink:
+  // resolve_chain records backup promotions (learn_link) and dead chains
+  // (mark_broken), and later lookups in the same batch read them. Lane
+  // interleaving would reorder those writes relative to the sequential
+  // schedule, so while stale entries exist — the only state in which
+  // resolve_chain ever writes — the batch degrades to width 1 (exactly the
+  // sequential schedule). On a repaired network the chain resolves to the
+  // primary pointer without touching the sink, and full interleaving is
+  // observably identical.
+  if (has_stale_entries()) width = 1;
+  dht::Router::route_batch(
+      froms, keys, count, width, sink, results, lanes, options,
+      [this](NodeHandle from, dht::KeyHash key) {
+        const KoordeNode* source = node_of(from);
+        CYCLOID_EXPECTS(source != nullptr);
+        const std::uint64_t target = key & (space_size_ - 1);
+        return KoordeStepPolicy(*this, target, best_start(*source, target));
+      });
 }
 
 void KoordeNetwork::apply_repairs(const dht::LookupMetrics& batch) {

@@ -109,6 +109,11 @@ class KoordeNetwork final : public dht::ArenaNetwork<KoordeNode> {
                                const dht::RouterOptions& options)
       const override;
 
+  void route_batch_impl(const dht::NodeHandle* froms, const dht::KeyHash* keys,
+                        std::size_t count, int width, dht::LookupMetrics& sink,
+                        dht::LookupResult* results, dht::BatchScratch& lanes,
+                        const dht::RouterOptions& options) const override;
+
   dht::NodeHandle successor_of(std::uint64_t id) const;
   dht::NodeHandle predecessor_of(std::uint64_t id) const;  // strictly before
   dht::NodeHandle predecessor_incl(std::uint64_t id) const;  // at or before

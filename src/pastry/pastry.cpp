@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/bits.hpp"
+#include "util/prefetch.hpp"
 
 namespace cycloid::pastry {
 
@@ -432,6 +433,44 @@ class PastryStepPolicy final : public dht::StepPolicy {
     return 8 * net_.digit_count() + 64;
   }
 
+  void prefetch(std::size_t slot) const override { net_.prefetch_node(slot); }
+  void prefetch_tables(std::size_t slot) const override {
+    // Stage 2: warm the leaf sets (both halves get scanned by best_leaf)
+    // and the routing table's row headers (the row picked depends on the
+    // key, so the header vector is the common line).
+    const PastryNode& cur = net_.node_at(slot);
+    util::prefetch_lines(cur.leaf_smaller.data(),
+                         cur.leaf_smaller.size() * sizeof(NodeHandle));
+    util::prefetch_lines(cur.leaf_larger.data(),
+                         cur.leaf_larger.size() * sizeof(NodeHandle));
+    util::prefetch_lines(cur.routing_table.data(),
+                         cur.routing_table.size() *
+                             sizeof(std::vector<NodeHandle>));
+  }
+  void prefetch_probes(std::size_t slot) const override {
+    // Stage 3: the leaf arrays and row headers landed during the rotation
+    // since stage 2, so they are cheap to read through now. In the leaf
+    // phase next_hop liveness-probes every leaf member (each a scattered
+    // SlotIndex bucket); in the prefix phase it reads one key-selected
+    // row's entries — reachable only through the row header, i.e. one
+    // indirection too deep for stage 2.
+    const PastryNode& cur = net_.node_at(slot);
+    if (cur.id == target_) return;
+    if (net_.key_in_leaf_range(cur, target_)) {
+      for (const NodeHandle h : cur.leaf_smaller) {
+        net_.slot_index().prefetch(h);
+      }
+      for (const NodeHandle h : cur.leaf_larger) {
+        net_.slot_index().prefetch(h);
+      }
+      return;
+    }
+    const int row = net_.shared_prefix_digits(cur.id, target_);
+    const auto& table_row = cur.routing_table[static_cast<std::size_t>(row)];
+    util::prefetch_lines(table_row.data(),
+                         table_row.size() * sizeof(NodeHandle));
+  }
+
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const std::uint64_t space = net_.space_size();
     const PastryNode& cur = net_.node_at(state.current_slot());
@@ -525,6 +564,20 @@ LookupResult PastryNetwork::route_impl(NodeHandle from, dht::KeyHash key,
   CYCLOID_EXPECTS(contains(from));
   PastryStepPolicy policy(*this, key % space_size_);
   return dht::Router::run(policy, from, sink, options);
+}
+
+void PastryNetwork::route_batch_impl(const NodeHandle* froms,
+                                     const dht::KeyHash* keys,
+                                     std::size_t count, int width,
+                                     dht::LookupMetrics& sink,
+                                     LookupResult* results,
+                                     dht::BatchScratch& lanes,
+                                     const dht::RouterOptions& options) const {
+  dht::Router::route_batch(froms, keys, count, width, sink, results, lanes,
+                           options, [this](NodeHandle from, dht::KeyHash key) {
+                             CYCLOID_EXPECTS(contains(from));
+                             return PastryStepPolicy(*this, key % space_size_);
+                           });
 }
 
 NodeHandle PastryNetwork::join(std::uint64_t seed) {

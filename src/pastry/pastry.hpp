@@ -94,6 +94,11 @@ class PastryNetwork final : public dht::ArenaNetwork<PastryNode> {
                                const dht::RouterOptions& options)
       const override;
 
+  void route_batch_impl(const dht::NodeHandle* froms, const dht::KeyHash* keys,
+                        std::size_t count, int width, dht::LookupMetrics& sink,
+                        dht::LookupResult* results, dht::BatchScratch& lanes,
+                        const dht::RouterOptions& options) const override;
+
   dht::NodeHandle successor_of(std::uint64_t id) const;   // at or after
   dht::NodeHandle predecessor_of(std::uint64_t id) const; // strictly before
 

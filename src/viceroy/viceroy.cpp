@@ -244,6 +244,11 @@ class ViceroyStepPolicy final : public dht::StepPolicy {
   /// Continuous identifier space: 8 * the 64 bits of the key hash.
   int default_max_hops() const override { return 8 * 64; }
 
+  // Stage-1 hint only: Viceroy resolves its links live through links_of
+  // (ring searches over shared indexes), so there is no per-node
+  // out-of-line table for a stage-2 prefetch to warm.
+  void prefetch(std::size_t slot) const override { net_.prefetch_node(slot); }
+
   dht::HopDecision next_hop(const dht::RouteState& state) override {
     const NodeHandle self = state.current();
     const ViceroyNode& cur = net_.node_at(state.current_slot());
@@ -347,6 +352,21 @@ LookupResult ViceroyNetwork::route_impl(NodeHandle from, dht::KeyHash key,
   CYCLOID_EXPECTS(contains(from));
   ViceroyStepPolicy policy(*this, hash::reduce_unit(key));
   return dht::Router::run(policy, from, sink, options);
+}
+
+void ViceroyNetwork::route_batch_impl(const NodeHandle* froms,
+                                      const dht::KeyHash* keys,
+                                      std::size_t count, int width,
+                                      dht::LookupMetrics& sink,
+                                      LookupResult* results,
+                                      dht::BatchScratch& lanes,
+                                      const dht::RouterOptions& options) const {
+  dht::Router::route_batch(
+      froms, keys, count, width, sink, results, lanes, options,
+      [this](NodeHandle from, dht::KeyHash key) {
+        CYCLOID_EXPECTS(contains(from));
+        return ViceroyStepPolicy(*this, hash::reduce_unit(key));
+      });
 }
 
 NodeHandle ViceroyNetwork::join(std::uint64_t seed) {

@@ -98,6 +98,11 @@ class ViceroyNetwork final : public dht::ArenaNetwork<ViceroyNode> {
                                const dht::RouterOptions& options)
       const override;
 
+  void route_batch_impl(const dht::NodeHandle* froms, const dht::KeyHash* keys,
+                        std::size_t count, int width, dht::LookupMetrics& sink,
+                        dht::LookupResult* results, dht::BatchScratch& lanes,
+                        const dht::RouterOptions& options) const override;
+
   /// First node clockwise at-or-after `id` on the general ring.
   dht::NodeHandle successor_at(double id) const;
   dht::NodeHandle predecessor_of(double id) const;  // strictly before

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <array>
 #include <set>
+#include <vector>
 
 #include "dht/network.hpp"
 #include "exp/overlays.hpp"
@@ -228,7 +229,9 @@ TEST_P(ConformanceTest, TraceLengthEqualsHopsAndDeliveryIsOwner) {
     EXPECT_EQ(result.destination, net->owner_of(key));
     // One TraceStep per counted hop; the last step is the delivery node.
     ASSERT_EQ(trace.size(), static_cast<std::size_t>(result.hops));
-    if (!trace.empty()) EXPECT_EQ(trace.back().node, result.destination);
+    if (!trace.empty()) {
+      EXPECT_EQ(trace.back().node, result.destination);
+    }
     int traced_timeouts = 0;
     for (const dht::TraceStep& step : trace) {
       EXPECT_TRUE(net->contains(step.node));
@@ -361,6 +364,82 @@ TEST_P(ConformanceTest, SinkTotalsMatchPreEngineSeedValues) {
   util::Rng rng(7);
   net->fail_ungraceful(0.25, rng);
   expect_totals(it->after_fail, run_lookup_batch(*net, 2000, 555, 1));
+}
+
+// The interleaved batch router (DESIGN.md §14) pins the same golden totals
+// at every lane width: interleaving reorders the hop schedule across
+// lookups, never any observable metric.
+TEST_P(ConformanceTest, SinkTotalsMatchGoldenValuesAtEveryInterleaveWidth) {
+  const auto it =
+      std::find_if(std::begin(kGoldenTotals), std::end(kGoldenTotals),
+                   [&](const GoldenEntry& e) { return e.kind == GetParam(); });
+  ASSERT_NE(it, std::end(kGoldenTotals));
+  for (const int width : {2, 3, 4, 8}) {
+    SCOPED_TRACE("interleave width " + std::to_string(width));
+    auto net = make_sparse_overlay(GetParam(), 8, 300, 42);
+    expect_totals(it->fresh, run_lookup_batch(*net, 3000, 1234, 1,
+                                              /*check_owner=*/true, width));
+    util::Rng rng(7);
+    net->fail_ungraceful(0.25, rng);
+    expect_totals(it->after_fail, run_lookup_batch(*net, 2000, 555, 1,
+                                                   /*check_owner=*/true,
+                                                   width));
+  }
+}
+
+// Stronger than the golden totals: per-lookup result equality between the
+// sequential engine (net->route, one lookup at a time) and route_batch at
+// every width — on a fresh network and after ungraceful failures (the
+// latter exercises Koorde's stale-sink width-1 degradation).
+TEST_P(ConformanceTest, RouteBatchMatchesSequentialPerLookup) {
+  auto net = make(300, 42);
+  const auto check = [&](std::uint64_t seed, std::size_t count) {
+    // One fixed draw of (source, key) pairs for every schedule.
+    util::Rng rng(seed);
+    std::vector<NodeHandle> froms(count);
+    std::vector<dht::KeyHash> keys(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      froms[i] = net->random_node(rng);
+      keys[i] = rng();
+    }
+
+    dht::LookupMetrics ref_sink;
+    std::vector<dht::LookupResult> ref(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ref[i] = net->route(froms[i], keys[i], ref_sink, dht::RouterOptions{});
+    }
+
+    for (const int width : {1, 2, 3, 4, 8}) {
+      SCOPED_TRACE("interleave width " + std::to_string(width));
+      dht::LookupMetrics sink;
+      std::vector<dht::LookupResult> results(count);
+      dht::BatchScratch lanes;
+      net->route_batch(froms.data(), keys.data(), count, width, sink,
+                       results.data(), lanes, dht::RouterOptions{});
+      for (std::size_t i = 0; i < count; ++i) {
+        SCOPED_TRACE("lookup " + std::to_string(i));
+        EXPECT_EQ(results[i].hops, ref[i].hops);
+        EXPECT_EQ(results[i].timeouts, ref[i].timeouts);
+        EXPECT_EQ(results[i].success, ref[i].success);
+        EXPECT_EQ(results[i].status, ref[i].status);
+        EXPECT_EQ(results[i].destination, ref[i].destination);
+        EXPECT_EQ(results[i].phase_hops, ref[i].phase_hops);
+      }
+      EXPECT_EQ(sink.lookups, ref_sink.lookups);
+      EXPECT_EQ(sink.hops, ref_sink.hops);
+      EXPECT_EQ(sink.timeouts, ref_sink.timeouts);
+      EXPECT_EQ(sink.failures, ref_sink.failures);
+      EXPECT_EQ(sink.guard_fallbacks, ref_sink.guard_fallbacks);
+      EXPECT_EQ(sink.phase_hops, ref_sink.phase_hops);
+      EXPECT_EQ(sink.query_load_vector(*net), ref_sink.query_load_vector(*net));
+      EXPECT_EQ(sink.learned_links(), ref_sink.learned_links());
+      EXPECT_EQ(sink.broken_links(), ref_sink.broken_links());
+    }
+  };
+  check(/*seed=*/1234, /*count=*/600);
+  util::Rng rng(7);
+  net->fail_ungraceful(0.25, rng);
+  check(/*seed=*/555, /*count=*/600);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOverlays, ConformanceTest,

@@ -299,5 +299,164 @@ TEST(DhtRouterDeathTest, EngineTrapsPolicyWithOutOfRangePhase) {
   EXPECT_DEATH(Router::run(policy, 1, sink), "Precondition");
 }
 
+// ---------------------------------------------------------------------------
+// route_batch lane mechanics (DESIGN.md §14), against synthetic policies.
+// The overlay-level equivalence (batch ≡ sequential at every width) lives in
+// dht_conformance_test.cpp; these tests pin the engine's edge cases: batches
+// smaller than the lane width, lanes that finish on their first visit and
+// must refill, width clamping, and the in-order note contract.
+// ---------------------------------------------------------------------------
+
+TEST(DhtRouterBatchTest, BatchSmallerThanWidthDeliversEveryLookup) {
+  // 3 lookups, 8 lanes: most lanes never fill; none may double-note.
+  const NodeHandle froms[] = {4, 5, 6};
+  const KeyHash keys[] = {0, 0, 0};
+  LookupMetrics sink;
+  LookupResult results[3];
+  BatchScratch lanes;
+  Router::route_batch(froms, keys, 3, /*width=*/8, sink, results, lanes,
+                      RouterOptions{},
+                      [](NodeHandle, KeyHash) { return FakePolicy(); });
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(results[i].success);
+    EXPECT_EQ(results[i].destination, froms[i]);  // delivered at source
+    EXPECT_EQ(results[i].hops, 0);
+  }
+  EXPECT_EQ(sink.lookups, 3u);
+  EXPECT_EQ(sink.hops, 0u);
+}
+
+TEST(DhtRouterBatchTest, ZeroCountBatchIsANoOp) {
+  LookupMetrics sink;
+  BatchScratch lanes;
+  Router::route_batch(nullptr, nullptr, 0, /*width=*/4, sink, nullptr, lanes,
+                      RouterOptions{},
+                      [](NodeHandle, KeyHash) { return FakePolicy(); });
+  EXPECT_EQ(sink.lookups, 0u);
+}
+
+TEST(DhtRouterBatchTest, InstantFailuresRefillLanesUntilTheBatchDrains) {
+  // Every lookup fails on its first policy visit, so each lane refills
+  // once per round-robin turn — 13 lookups through 4 lanes.
+  constexpr std::size_t kCount = 13;
+  std::vector<NodeHandle> froms(kCount);
+  std::vector<KeyHash> keys(kCount, 0);
+  for (std::size_t i = 0; i < kCount; ++i) froms[i] = 100 + i;
+  LookupMetrics sink;
+  std::vector<LookupResult> results(kCount);
+  BatchScratch lanes;
+  Router::route_batch(froms.data(), keys.data(), kCount, /*width=*/4, sink,
+                      results.data(), lanes, RouterOptions{},
+                      [](NodeHandle, KeyHash) { return FailingPolicy(); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_FALSE(results[i].success);
+    EXPECT_EQ(results[i].status, LookupStatus::kFailed);
+    EXPECT_EQ(results[i].destination, froms[i]);  // stuck where it started
+  }
+  EXPECT_EQ(sink.lookups, kCount);
+  EXPECT_EQ(sink.failures, kCount);
+}
+
+TEST(DhtRouterBatchTest, HopCapAppliesPerLaneNotPerBatch) {
+  // Cyclic lookups never finish on their own; every lane must hit the hop
+  // cap independently and then refill.
+  constexpr std::size_t kCount = 6;
+  const NodeHandle froms[kCount] = {1, 1, 1, 1, 1, 1};
+  const KeyHash keys[kCount] = {};
+  LookupMetrics sink;
+  LookupResult results[kCount];
+  BatchScratch lanes;
+  Router::route_batch(froms, keys, kCount, /*width=*/4, sink, results, lanes,
+                      RouterOptions{},
+                      [](NodeHandle, KeyHash) { return CyclicPolicy(); });
+  const int cap = CyclicPolicy().default_max_hops();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(results[i].status, LookupStatus::kHopLimit);
+    EXPECT_EQ(results[i].hops, cap);
+  }
+  EXPECT_EQ(sink.hops, kCount * static_cast<std::uint64_t>(cap));
+  EXPECT_EQ(sink.failures, kCount);
+}
+
+/// Delivers immediately for even keys, cycles to the hop cap for odd ones:
+/// lanes finish at wildly different times, exercising refill interleaving.
+class KeyedPolicy : public FakePolicy {
+ public:
+  explicit KeyedPolicy(KeyHash key) : cyclic_(key % 2 != 0) {}
+  HopDecision next_hop(const RouteState& state) override {
+    if (!cyclic_) return HopDecision::deliver();
+    return HopDecision::forward(state.current() == 1 ? 2 : 1, 0, "cycle");
+  }
+
+ private:
+  bool cyclic_;
+};
+
+TEST(DhtRouterBatchTest, MixedLifetimeLanesKeepResultsInInputOrder) {
+  constexpr std::size_t kCount = 11;
+  std::vector<NodeHandle> froms(kCount, 1);
+  std::vector<KeyHash> keys(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) keys[i] = i;
+  LookupMetrics sink;
+  std::vector<LookupResult> results(kCount);
+  BatchScratch lanes;
+  Router::route_batch(froms.data(), keys.data(), kCount, /*width=*/3, sink,
+                      results.data(), lanes, RouterOptions{},
+                      [](NodeHandle, KeyHash key) { return KeyedPolicy(key); });
+  const int cap = FakePolicy().default_max_hops();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    SCOPED_TRACE("lookup " + std::to_string(i));
+    if (i % 2 == 0) {
+      EXPECT_TRUE(results[i].success);
+      EXPECT_EQ(results[i].hops, 0);
+    } else {
+      EXPECT_EQ(results[i].status, LookupStatus::kHopLimit);
+      EXPECT_EQ(results[i].hops, cap);
+    }
+  }
+  EXPECT_EQ(sink.lookups, kCount);
+  EXPECT_EQ(sink.hops, 5u * static_cast<std::uint64_t>(cap));
+}
+
+TEST(DhtRouterBatchTest, WidthIsClampedToTheLaneArray) {
+  // Widths below 1 and above kMaxBatchWidth are clamped, not rejected.
+  const NodeHandle froms[] = {7, 8};
+  const KeyHash keys[] = {0, 0};
+  for (const int width : {-5, 0, 1, Router::kMaxBatchWidth + 20}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    LookupMetrics sink;
+    LookupResult results[2];
+    BatchScratch lanes;
+    Router::route_batch(froms, keys, 2, width, sink, results, lanes,
+                        RouterOptions{},
+                        [](NodeHandle, KeyHash) { return FakePolicy(); });
+    EXPECT_EQ(sink.lookups, 2u);
+    EXPECT_TRUE(results[0].success);
+    EXPECT_TRUE(results[1].success);
+    EXPECT_EQ(results[0].destination, 7u);
+    EXPECT_EQ(results[1].destination, 8u);
+  }
+}
+
+TEST(DhtRouterBatchTest, BatchScratchIsReusableAcrossBatches) {
+  // Second batch through the same BatchScratch must start from clean lane
+  // state (no leakage of the previous batch's bindings).
+  const NodeHandle froms[] = {1, 2, 3, 4, 5};
+  const KeyHash keys[] = {0, 0, 0, 0, 0};
+  BatchScratch lanes;
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    LookupMetrics sink;
+    LookupResult results[5];
+    Router::route_batch(froms, keys, 5, /*width=*/4, sink, results, lanes,
+                        RouterOptions{},
+                        [](NodeHandle, KeyHash) { return FakePolicy(); });
+    EXPECT_EQ(sink.lookups, 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(results[i].destination, froms[i]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cycloid::dht

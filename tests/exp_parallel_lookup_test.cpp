@@ -159,6 +159,67 @@ TEST(ParallelLookupBatch, PartialLastShardAndZeroCount) {
   EXPECT_EQ(empty.metrics.hops, 0u);
 }
 
+// Interleave width (DESIGN.md §14) composes with thread count: the batch
+// must stay bit-identical across the full (W, threads) grid, because the
+// per-shard RNG streams are drawn before routing and the lane scheduler
+// only reorders hop execution, never results or merge order.
+TEST(ParallelLookupBatch, BitIdenticalAcrossInterleaveWidthsAndThreads) {
+  auto net = make_dense_overlay(OverlayKind::kCycloid7, 8, kSeed);  // 2048
+
+  const std::uint64_t count = 3 * kLookupShardSize;
+  const auto seq = run_lookup_batch(*net, count, kSeed + 12, 1);
+  for (const int width : {2, 4, 8}) {
+    for (const int threads : {1, 4}) {
+      SCOPED_TRACE("W=" + std::to_string(width) +
+                   " threads=" + std::to_string(threads));
+      const auto wide = run_lookup_batch(*net, count, kSeed + 12, threads,
+                                         /*check_owner=*/true, width);
+      expect_identical(seq, wide, *net);
+    }
+  }
+}
+
+TEST(ParallelLookupBatch, KoordeRepairLearningsSurviveInterleaveRequest) {
+  // With dead de Bruijn pointers, Koorde's sink learnings are order-
+  // dependent, so its route_batch_impl degrades any requested width to 1
+  // and must still reproduce the sequential stream bit for bit.
+  auto net = make_dense_overlay(OverlayKind::kKoorde, 7, kSeed);  // 896
+  util::Rng fail_rng(kSeed + 13);
+  net->fail_simultaneously(0.3, fail_rng);
+
+  const std::uint64_t count = 2 * kLookupShardSize;
+  const auto seq = run_lookup_batch(*net, count, kSeed + 14, 1);
+  const auto wide = run_lookup_batch(*net, count, kSeed + 14, 4,
+                                     /*check_owner=*/true, 8);
+  expect_identical(seq, wide, *net);
+}
+
+TEST(ParallelLookupBatch, ProcessWideInterleaveDefaultIsHonored) {
+  auto net = make_dense_overlay(OverlayKind::kChord, 7, kSeed);  // 896
+
+  const std::uint64_t count = kLookupShardSize + 100;
+  const auto seq = run_lookup_batch(*net, count, kSeed + 15, 1);
+
+  // interleave = 0 defers to the process-wide default (the bench knob).
+  set_lookup_interleave(4);
+  EXPECT_EQ(lookup_interleave(), 4);
+  const auto wide = run_lookup_batch(*net, count, kSeed + 15, 1);
+  expect_identical(seq, wide, *net);
+
+  // The setter clamps nonsense widths to the sequential path.
+  set_lookup_interleave(0);
+  EXPECT_EQ(lookup_interleave(), 1);
+  set_lookup_interleave(-3);
+  EXPECT_EQ(lookup_interleave(), 1);
+
+  // An explicit per-call width overrides whatever the process default is.
+  set_lookup_interleave(8);
+  const auto forced_seq = run_lookup_batch(*net, count, kSeed + 15, 1,
+                                           /*check_owner=*/true, 1);
+  expect_identical(seq, forced_seq, *net);
+  set_lookup_interleave(1);
+}
+
 TEST(ParallelLookupBatch, BatchDoesNotMutateTheNetwork) {
   auto net = make_dense_overlay(OverlayKind::kCycloid7, 7, kSeed);  // 896
   net->reset_query_load();
